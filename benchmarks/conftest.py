@@ -1,0 +1,41 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+reports the wall-clock cost of doing so.  Simulations are deterministic,
+so a single round per benchmark is meaningful; the point of the suite
+is regeneration (the assertions check the paper's shape targets), not
+micro-timing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale down for a quick pass::
+
+    REPRO_BENCH_SCALE=0.3 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.experiments.common import RunCache  # noqa: E402
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """One run cache shared by every benchmark in the session."""
+    return RunCache(scale=bench_scale())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a regeneration exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

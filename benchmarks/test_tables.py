@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Tables I-III."""
+
+from repro.experiments import tables
+
+from conftest import run_once
+
+
+def test_tables(benchmark):
+    data = run_once(benchmark, tables.run)
+    report = tables.report(data)
+    assert "Table I" in report
+    assert "Table II" in report
+    assert "Table III" in report
+    # 27 kernel rows plus headers.
+    assert len(data["table2"].splitlines()) == 3 + 27

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Map a kernel over all nine static VF operating points.
+
+Reproduces, for a single kernel, the design space behind Figure 1: for
+each (SM state, memory state) pair the speedup and energy-efficiency
+versus the nominal point, plus where Equalizer lands in each mode.
+
+Usage::
+
+    python examples/dvfs_exploration.py [kernel-name]
+"""
+
+import sys
+
+from repro import (EqualizerController, SimConfig, StaticController,
+                   VF_HIGH, VF_LOW, VF_NORMAL, build_workload,
+                   kernel_by_name, run_kernel)
+from repro.config import VF_NAMES
+from repro.experiments.common import EXPERIMENT_EQUALIZER_CONFIG
+
+STATES = (VF_LOW, VF_NORMAL, VF_HIGH)
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "cfd-1"
+    spec = kernel_by_name(name)
+    sim = SimConfig(equalizer=EXPERIMENT_EQUALIZER_CONFIG)
+    baseline = run_kernel(build_workload(spec), sim)
+
+    print(f"{name} ({spec.category}): speedup / energy-efficiency vs "
+          f"nominal")
+    header = "sm \\ mem  " + "".join(f"{VF_NAMES[m]:>16s}"
+                                     for m in STATES)
+    print(header)
+    for sm_vf in STATES:
+        cells = []
+        for mem_vf in STATES:
+            if sm_vf == VF_NORMAL and mem_vf == VF_NORMAL:
+                cells.append(f"{'1.00 / 1.00':>16s}")
+                continue
+            r = run_kernel(
+                build_workload(spec), sim,
+                controller=StaticController(sm_vf=sm_vf, mem_vf=mem_vf))
+            perf = r.performance_vs(baseline)
+            eff = r.energy_efficiency_vs(baseline)
+            cells.append(f"{perf:6.2f} / {eff:4.2f} ")
+        print(f"{VF_NAMES[sm_vf]:>8s}  " + "".join(cells))
+
+    print()
+    for mode in ("performance", "energy"):
+        ctrl = EqualizerController(mode, config=sim.equalizer)
+        r = run_kernel(build_workload(spec), sim, controller=ctrl)
+        res = r.result.vf_residency()
+        total = sum(res.values())
+        top = sorted(res.items(), key=lambda kv: -kv[1])[:2]
+        where = ", ".join(
+            f"{VF_NAMES[s]}/{VF_NAMES[m]} {t / total:.0%}"
+            for (s, m), t in top)
+        print(f"equalizer {mode[:4]}: speedup "
+              f"{r.performance_vs(baseline):5.2f}x, efficiency "
+              f"{r.energy_efficiency_vs(baseline):4.2f}; mostly at "
+              f"{where}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

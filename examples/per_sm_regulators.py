@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Per-SM voltage regulators on a load-imbalanced kernel.
+
+Section V-A1 of the paper notes that per-SM VRMs, while costly, would
+help when SMs diverge.  prtcl-2 is the in-suite demonstration: one
+thread block runs >95% of the time, so most SMs sit idle while one
+grinds.  A chip-wide regulator must choose one voltage for all of
+them; private regulators let the idle SMs sink to low voltage while
+the straggler boosts.
+
+Usage::
+
+    python examples/per_sm_regulators.py [kernel-name] [scale]
+"""
+
+import sys
+
+from repro import (EqualizerController, SimConfig, build_workload,
+                   kernel_by_name, run_kernel)
+from repro.experiments.common import EXPERIMENT_EQUALIZER_CONFIG
+from repro.sim import PerSMEqualizerController, run_kernel_per_sm_vrm
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "prtcl-2"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    spec = kernel_by_name(name)
+    sim = SimConfig(equalizer=EXPERIMENT_EQUALIZER_CONFIG)
+
+    baseline = run_kernel(build_workload(spec, scale=scale), sim)
+    print(f"{name}: baseline {baseline.result.ticks} cycles, "
+          f"{baseline.energy_j:.3f} J")
+    print(f"{'configuration':28s} {'speedup':>8s} {'energy':>8s}")
+    for mode in ("performance", "energy"):
+        g = run_kernel(
+            build_workload(spec, scale=scale), sim,
+            controller=EqualizerController(mode, config=sim.equalizer))
+        p = run_kernel_per_sm_vrm(
+            build_workload(spec, scale=scale), sim,
+            controller=PerSMEqualizerController(mode,
+                                                config=sim.equalizer))
+        print(f"chip-wide VRM / {mode:12s} "
+              f"{g.performance_vs(baseline):7.2f}x "
+              f"{g.energy_increase_vs(baseline):+8.1%}")
+        print(f"per-SM VRMs   / {mode:12s} "
+              f"{p.performance_vs(baseline):7.2f}x "
+              f"{p.energy_increase_vs(baseline):+8.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

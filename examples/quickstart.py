@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: run one kernel on the simulated GPU, then let Equalizer
+tune it in both of its modes.
+
+Usage::
+
+    python examples/quickstart.py [kernel-name] [scale]
+
+Kernel names are the Table II names (default: kmn, the paper's
+showcase cache-sensitive kernel).  Scale < 1 shortens the run.
+"""
+
+import sys
+
+from repro import (EqualizerController, SimConfig, build_workload,
+                   kernel_by_name, run_kernel)
+from repro.experiments.common import EXPERIMENT_EQUALIZER_CONFIG
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "kmn"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+
+    spec = kernel_by_name(name)
+    sim = SimConfig(equalizer=EXPERIMENT_EQUALIZER_CONFIG)
+
+    print(f"kernel {spec.name}: category={spec.category}, "
+          f"Wcta={spec.wcta}, max {spec.max_blocks} blocks/SM, "
+          f"{spec.total_blocks} blocks/invocation")
+
+    baseline = run_kernel(build_workload(spec, scale=scale), sim)
+    r = baseline.result
+    print(f"\nbaseline GPU:  {r.ticks:>8d} cycles, "
+          f"IPC {r.ipc:5.2f}, L1 hit rate {r.l1_hit_rate:5.1%}, "
+          f"avg power {baseline.energy_j / baseline.seconds:6.1f} W")
+
+    for mode in ("performance", "energy"):
+        controller = EqualizerController(mode,
+                                         config=sim.equalizer)
+        tuned = run_kernel(build_workload(spec, scale=scale), sim,
+                           controller=controller)
+        speedup = tuned.performance_vs(baseline)
+        delta = tuned.energy_increase_vs(baseline)
+        print(f"equalizer {mode[:4]}: {tuned.result.ticks:>8d} cycles "
+              f"-> speedup {speedup:5.2f}x, energy {delta:+7.1%}, "
+              f"L1 hit rate {tuned.result.l1_hit_rate:5.1%}")
+        counts = controller.tendency_counts()
+        top = sorted(counts.items(), key=lambda kv: -kv[1])[:3]
+        detail = ", ".join(f"{t}={c}" for t, c in top)
+        print(f"   decisions: {detail}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

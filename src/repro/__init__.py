@@ -1,0 +1,55 @@
+"""Reproduction of *Equalizer: Dynamic Tuning of GPU Resources for
+Efficient Execution* (Sethia & Mahlke, MICRO 2014).
+
+Public API sketch::
+
+    from repro import (SimConfig, build_workload, kernel_by_name,
+                       run_kernel, EqualizerController)
+
+    workload = build_workload(kernel_by_name("kmn"))
+    baseline = run_kernel(workload, SimConfig())
+    tuned = run_kernel(build_workload(kernel_by_name("kmn")), SimConfig(),
+                       controller=EqualizerController("performance"))
+    print(tuned.performance_vs(baseline))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .config import (EqualizerConfig, GPUConfig, PowerConfig, SimConfig,
+                     VF_HIGH, VF_LOW, VF_NORMAL)
+from .core import EqualizerController
+from .baselines import (CCWSController, DynCTAController,
+                        PowerBudgetController, StaticController)
+from .sim import GPU, RunResult, run_kernel
+from .workloads import (ALL_KERNELS, KernelSpec, Phase, SyntheticWorkload,
+                        build_workload, kernel_by_name,
+                        kernels_in_category)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig",
+    "EqualizerConfig",
+    "PowerConfig",
+    "SimConfig",
+    "VF_LOW",
+    "VF_NORMAL",
+    "VF_HIGH",
+    "EqualizerController",
+    "StaticController",
+    "DynCTAController",
+    "CCWSController",
+    "PowerBudgetController",
+    "GPU",
+    "RunResult",
+    "run_kernel",
+    "ALL_KERNELS",
+    "KernelSpec",
+    "Phase",
+    "SyntheticWorkload",
+    "build_workload",
+    "kernel_by_name",
+    "kernels_in_category",
+    "__version__",
+]

@@ -1,0 +1,150 @@
+"""Run analysis utilities: summaries, comparisons, timelines, export.
+
+These helpers sit on top of :class:`~repro.sim.results.RunResult` and
+are what the examples and the CLI use to present runs; they are also
+the supported way to get simulation data out of the library (JSON/CSV)
+for external plotting.
+"""
+
+import csv
+import json
+from typing import Dict, Iterable, Optional
+
+from .config import VF_NAMES
+from .sim.results import RunResult
+
+
+def summarize(run: RunResult) -> Dict:
+    """A flat, JSON-friendly summary of one run."""
+    r = run.result
+    states = r.state_fractions()
+    residency = r.vf_residency()
+    total_ticks = sum(residency.values()) or 1
+    return {
+        "kernel": r.kernel,
+        "ticks": r.ticks,
+        "seconds": run.seconds,
+        "energy_j": run.energy_j,
+        "avg_power_w": run.energy_j / run.seconds if run.seconds else 0.0,
+        "ipc": r.ipc,
+        "instructions": r.instructions,
+        "loads": r.loads,
+        "stores": r.stores,
+        "blocks_run": r.blocks_run,
+        "l1_hit_rate": r.l1_hit_rate,
+        "l2_txns": r.l2_txns,
+        "dram_txns": r.dram_txns,
+        "dram_txns_per_tick": r.dram_txns / r.ticks if r.ticks else 0.0,
+        "invocations": len(r.invocation_ticks),
+        "state_fractions": states,
+        "energy_breakdown_j": dict(run.energy_breakdown),
+        "vf_residency": {
+            f"{VF_NAMES[sm]}/{VF_NAMES[mem]}": ticks / total_ticks
+            for (sm, mem), ticks in sorted(residency.items())},
+    }
+
+
+def compare(runs: Dict[str, RunResult],
+            baseline: str = "baseline") -> Dict[str, Dict]:
+    """Relative metrics of several runs against one of them.
+
+    ``runs`` maps a label to a RunResult; the ``baseline`` label must
+    be present.  Returns, per label, speedup / energy delta / energy
+    efficiency.
+    """
+    if baseline not in runs:
+        raise KeyError(f"baseline label {baseline!r} not in runs")
+    base = runs[baseline]
+    out = {}
+    for label, run in runs.items():
+        out[label] = {
+            "speedup": run.performance_vs(base),
+            "energy_delta": run.energy_increase_vs(base),
+            "energy_efficiency": run.energy_efficiency_vs(base),
+            "l1_hit_rate": run.result.l1_hit_rate,
+        }
+    return out
+
+
+_VF_GLYPH = {-1: "v", 0: "-", 1: "^"}
+
+
+def timeline(run: RunResult, width: Optional[int] = None) -> str:
+    """An ASCII strip chart of the run's epochs.
+
+    One column per epoch: SM and memory VF state glyphs (^ high,
+    - normal, v low), active-block level (0-9), and a crude intensity
+    digit for the dominant counter.
+    """
+    epochs = run.result.epochs
+    if not epochs:
+        return "(no epochs recorded)"
+    if width and len(epochs) > width:
+        stride = (len(epochs) + width - 1) // width
+        epochs = epochs[::stride]
+    sm_row = "".join(_VF_GLYPH[e.sm_vf] for e in epochs)
+    mem_row = "".join(_VF_GLYPH[e.mem_vf] for e in epochs)
+    blk_row = "".join(str(min(9, int(round(e.blocks)))) for e in epochs)
+
+    def intensity(value: float, ceiling: float = 48.0) -> str:
+        return str(min(9, int(10 * value / ceiling)))
+
+    xalu_row = "".join(intensity(e.xalu) for e in epochs)
+    xmem_row = "".join(intensity(e.xmem) for e in epochs)
+    wait_row = "".join(intensity(e.waiting) for e in epochs)
+    return "\n".join([
+        f"sm vf : {sm_row}",
+        f"mem vf: {mem_row}",
+        f"blocks: {blk_row}",
+        f"xalu  : {xalu_row}",
+        f"xmem  : {xmem_row}",
+        f"wait  : {wait_row}",
+    ])
+
+
+def to_json(run: RunResult, include_epochs: bool = True) -> Dict:
+    """A fully JSON-serialisable dump of a run."""
+    data = summarize(run)
+    if include_epochs:
+        data["epochs"] = [{
+            "index": e.index,
+            "invocation": e.invocation,
+            "tick": e.tick,
+            "active": e.active,
+            "waiting": e.waiting,
+            "xmem": e.xmem,
+            "xalu": e.xalu,
+            "blocks": e.blocks,
+            "sm_vf": e.sm_vf,
+            "mem_vf": e.mem_vf,
+        } for e in run.result.epochs]
+        data["invocation_ticks"] = list(run.result.invocation_ticks)
+        data["segments"] = [{
+            "sm_vf": s.sm_vf, "mem_vf": s.mem_vf, "ticks": s.ticks,
+            "instructions": s.instructions, "l2_txns": s.l2_txns,
+            "dram_txns": s.dram_txns,
+        } for s in run.result.segments]
+    return data
+
+
+def save_json(run: RunResult, path: str,
+              include_epochs: bool = True) -> None:
+    """Write :func:`to_json` output to a file."""
+    with open(path, "w") as f:
+        json.dump(to_json(run, include_epochs=include_epochs), f,
+                  indent=2, sort_keys=True)
+
+
+def export_epochs_csv(runs: Iterable[RunResult], path: str) -> None:
+    """Write the epoch series of one or more runs to a CSV file."""
+    fields = ["kernel", "index", "invocation", "tick", "active",
+              "waiting", "xmem", "xalu", "blocks", "sm_vf", "mem_vf"]
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(fields)
+        for run in runs:
+            for e in run.result.epochs:
+                writer.writerow([run.result.kernel, e.index,
+                                 e.invocation, e.tick, e.active,
+                                 e.waiting, e.xmem, e.xalu, e.blocks,
+                                 e.sm_vf, e.mem_vf])

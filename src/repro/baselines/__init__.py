@@ -1,0 +1,22 @@
+"""Comparator systems the paper evaluates Equalizer against.
+
+* :class:`StaticController` -- fixed VF operating points and/or a fixed
+  concurrent-block count (the "SM boost", "mem low", "static optimal
+  threads" bars of Figures 1, 7 and 8).
+* :class:`DynCTAController` -- the stall-heuristic thread-block tuner
+  of Kayiran et al. [15] (Figure 10, 11b).
+* :class:`CCWSController` -- cache-conscious wavefront scheduling of
+  Rogers et al. [26]: victim-tag lost-locality scoring that throttles
+  which warps may access the L1 (Figure 10).
+* :class:`PowerBudgetController` -- a GPU-Boost-style policy driven by
+  the remaining power budget rather than by kernel requirements (the
+  commercial contrast of Section VI).
+"""
+
+from .static import StaticController
+from .dyncta import DynCTAController
+from .ccws import CCWSController
+from .boost import PowerBudgetController
+
+__all__ = ["StaticController", "DynCTAController", "CCWSController",
+           "PowerBudgetController"]

@@ -1,0 +1,76 @@
+"""DynCTA (Kayiran et al. [15]): stall-heuristic block-count tuning.
+
+DynCTA samples two stall signals per SM and moves the concurrent-block
+count with simple thresholds:
+
+* when the SM is frequently *idle* (no warp ready to issue), it is
+  starved for work and gets one more block;
+* when most warps sit *waiting on memory*, the heuristic reads this as
+  memory-system congestion and sheds a block.
+
+The second rule is the weakness the paper exploits in Figure 11b: in
+spmv's second phase more parallelism is exactly what is needed to hide
+memory latency, but the high waiting fraction keeps DynCTA from adding
+blocks, while Equalizer's ``nWaiting > nActive/2`` arm adds them.
+"""
+
+from ..core.controller import Controller
+from ..errors import ConfigError
+
+
+class DynCTAController(Controller):
+    """Heuristic thread-block manager; never touches frequencies."""
+
+    mode = "dyncta"
+
+    def __init__(self, idle_threshold: float = 0.40,
+                 waiting_threshold: float = 0.65,
+                 hysteresis: int = 3) -> None:
+        if not 0.0 <= idle_threshold <= 1.0:
+            raise ConfigError("idle_threshold must lie in [0, 1]")
+        if not 0.0 <= waiting_threshold <= 1.0:
+            raise ConfigError("waiting_threshold must lie in [0, 1]")
+        if hysteresis < 1:
+            raise ConfigError("hysteresis must be >= 1")
+        self.idle_threshold = idle_threshold
+        self.waiting_threshold = waiting_threshold
+        self.hysteresis = hysteresis
+        self._streak_dir = []
+        self._streak_len = []
+        #: (epoch, sm_id, delta) log for analysis.
+        self.decisions = []
+        self._epoch = 0
+
+    def attach(self, gpu) -> None:
+        n = len(gpu.sms)
+        self._streak_dir = [0] * n
+        self._streak_len = [0] * n
+
+    def on_epoch(self, gpu, per_sm) -> None:
+        self._epoch += 1
+        for sm, (active, waiting, xmem, _xalu, idle) in zip(gpu.sms,
+                                                            per_sm):
+            delta = 0
+            # Memory-related stall: warps waiting on data plus warps
+            # stalled trying to issue to the memory pipeline.
+            stalled = waiting + xmem
+            if idle > self.idle_threshold:
+                delta = 1
+            elif active > 0 and (stalled / active) > self.waiting_threshold:
+                delta = -1
+            self.decisions.append((self._epoch, sm.sm_id, delta))
+            i = sm.sm_id
+            if delta == 0:
+                self._streak_len[i] = 0
+                self._streak_dir[i] = 0
+                continue
+            if self._streak_dir[i] == delta:
+                self._streak_len[i] += 1
+            else:
+                self._streak_dir[i] = delta
+                self._streak_len[i] = 1
+            if self._streak_len[i] < self.hysteresis:
+                continue
+            self._streak_len[i] = 0
+            self._streak_dir[i] = 0
+            sm.set_target_blocks(sm.target_blocks + delta)

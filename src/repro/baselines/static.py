@@ -1,0 +1,36 @@
+"""Fixed operating points: the static comparators of Figures 1, 7, 8.
+
+A static controller pins the SM VF state, the memory VF state, and
+optionally the number of concurrent thread blocks for the whole run.
+With all three at their defaults it is exactly the baseline GPU.
+"""
+
+from typing import Optional
+
+from ..config import VF_NORMAL, VF_STATES
+from ..core.controller import Controller
+from ..errors import ConfigError
+
+
+class StaticController(Controller):
+    """Pin VF states and (optionally) the concurrent-block count."""
+
+    def __init__(self, sm_vf: int = VF_NORMAL, mem_vf: int = VF_NORMAL,
+                 blocks: Optional[int] = None) -> None:
+        if sm_vf not in VF_STATES or mem_vf not in VF_STATES:
+            raise ConfigError("invalid static VF state")
+        if blocks is not None and blocks < 1:
+            raise ConfigError("blocks must be >= 1")
+        self.sm_vf = sm_vf
+        self.mem_vf = mem_vf
+        self.blocks = blocks
+        self.mode = f"static(sm={sm_vf:+d},mem={mem_vf:+d}," \
+                    f"blocks={blocks})"
+
+    def attach(self, gpu) -> None:
+        gpu.set_vf(sm_vf=self.sm_vf, mem_vf=self.mem_vf)
+
+    def on_invocation_start(self, gpu, invocation: int) -> None:
+        if self.blocks is not None:
+            for sm in gpu.sms:
+                sm.set_target_blocks(self.blocks)

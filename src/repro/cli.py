@@ -1,0 +1,98 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro tables
+    python -m repro fig7 [--scale 0.5] [--kernels cutcp,kmn]
+    python -m repro headline --json results/
+    python -m repro all
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from .experiments import common
+from .experiments import (ablations, boost_comparison,
+                          concurrent_kernels, fig1_sweeps,
+                          fig2_variation, fig4_warp_states,
+                          fig5_memory_blocks, fig7_performance_mode,
+                          fig8_energy_mode, fig9_frequency_distribution,
+                          fig10_cache_comparison, fig11_adaptiveness,
+                          headline, motivation, per_sm_vrm, tables)
+
+EXPERIMENTS = {
+    "tables": tables,
+    "fig1": fig1_sweeps,
+    "fig2": fig2_variation,
+    "fig4": fig4_warp_states,
+    "fig5": fig5_memory_blocks,
+    "fig7": fig7_performance_mode,
+    "fig8": fig8_energy_mode,
+    "fig9": fig9_frequency_distribution,
+    "fig10": fig10_cache_comparison,
+    "fig11": fig11_adaptiveness,
+    "headline": headline,
+    "ablations": ablations,
+    "motivation": motivation,
+    "boost": boost_comparison,
+    "persm": per_sm_vrm,
+    "concurrent": concurrent_kernels,
+}
+
+#: Experiments that accept a kernel subset.
+_KERNEL_AWARE = {"fig1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+                 "headline", "boost"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="equalizer-repro",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (iterations "
+                             "multiplier; <1 for quick runs)")
+    parser.add_argument("--kernels", type=str, default=None,
+                        help="comma-separated kernel subset")
+    parser.add_argument("--json", type=str, default=None, metavar="DIR",
+                        help="also dump each experiment's raw data as "
+                             "<DIR>/<experiment>.json")
+    args = parser.parse_args(argv)
+
+    cache = common.RunCache(scale=args.scale)
+    kernels = args.kernels.split(",") if args.kernels else None
+    names = ([args.experiment] if args.experiment != "all"
+             else sorted(EXPERIMENTS))
+    for name in names:
+        module = EXPERIMENTS[name]
+        if name == "tables":
+            data = module.run()
+        elif name == "ablations":
+            data = module.run(kernels)
+        elif name == "motivation":
+            data = module.run(cache.sim, scale=args.scale)
+        elif name == "persm":
+            data = module.run(kernels, scale=args.scale, sim=cache.sim)
+        elif name == "concurrent":
+            data = module.run(scale=args.scale, sim=cache.sim)
+        elif name in _KERNEL_AWARE:
+            data = module.run(cache, kernels)
+        else:
+            data = module.run(cache)
+        print(module.report(data))
+        print()
+        if args.json:
+            os.makedirs(args.json, exist_ok=True)
+            path = os.path.join(args.json, f"{name}.json")
+            with open(path, "w") as f:
+                json.dump(data, f, indent=2, sort_keys=True,
+                          default=str)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""Configuration objects for the simulated GPU, Equalizer, and power model.
+
+The defaults follow Table III of the paper (a Fermi-style GTX 480):
+15 SMs with 32 PEs each, at most 8 thread blocks / 48 warps per SM, a
+64-set 4-way 128 B/line L1 data cache, and voltage/frequency modulation
+of +/-15% on both the SM and the memory system.
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ConfigError
+
+#: Warp width on Fermi; fixed by the architecture.
+WARP_SIZE = 32
+
+#: Cache line size in bytes (Table III).
+LINE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Static hardware parameters of the simulated GPU.
+
+    Latencies are expressed in cycles of the owning clock domain.  At the
+    nominal operating point both domains tick once per base tick, so the
+    nominal SM cycle and memory cycle have equal duration.
+    """
+
+    sm_count: int = 15
+    max_blocks_per_sm: int = 8
+    max_warps_per_sm: int = 48
+
+    # Issue stage (Fermi dual-issue; one load/store per cycle).
+    alu_issue_width: int = 2
+    mem_issue_width: int = 1
+
+    # LSU and outstanding-miss capacity.
+    lsu_queue_depth: int = 12
+    mshr_entries: int = 36
+    texture_queue_depth: int = 64
+
+    # L1 data cache (Table III: 64 sets, 4 way, 128 B lines -> 32 kB).
+    l1_sets: int = 64
+    l1_ways: int = 4
+
+    # Shared L2 (768 kB, 8-way, 128 B lines -> 768 sets).
+    l2_sets: int = 768
+    l2_ways: int = 8
+
+    # Latencies (own-domain cycles).  The raw round-trip (l2 + dram)
+    # is sized so the MSHR-bounded outstanding misses of all SMs can
+    # cover the DRAM bandwidth-delay product (Little's law), letting
+    # streaming kernels actually saturate the bandwidth server.
+    l1_hit_latency: int = 24
+    l2_latency: int = 60
+    dram_latency: int = 150
+
+    # LSU occupancy of one *missing* line (tag probe, MSHR allocation,
+    # writeback check, interconnect injection).  Hits retire one line
+    # per cycle; misses hold the LSU longer, so thrash-level miss rates
+    # clog the LD/ST pipe and surface as Xmem -- the back-pressure
+    # mechanism Section III-A describes.
+    l1_miss_handling_cycles: int = 4
+
+    # Memory-system queueing.
+    memory_ingress_depth: int = 32
+    dram_queue_depth: int = 64
+    l2_ports: int = 4
+
+    # DRAM bandwidth in bytes per memory-domain cycle at the nominal
+    # operating point.  2 transactions (256 B) per cycle against a peak
+    # demand of one 128 B access per SM per cycle reproduces the ~7x
+    # oversubscription of a real GTX 480.
+    dram_bytes_per_cycle: float = 256.0
+
+    # Nominal base clock (Hz); defines the wall-clock length of one tick.
+    nominal_frequency_hz: float = 700.0e6
+
+    # Dependent-issue interval after an ALU instruction, in SM cycles.
+    alu_dep_latency: int = 6
+
+    # Voltage/frequency step size for both domains (+/-15%, Table III).
+    vf_step: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1:
+            raise ConfigError("sm_count must be >= 1")
+        if self.max_blocks_per_sm < 1:
+            raise ConfigError("max_blocks_per_sm must be >= 1")
+        if self.max_warps_per_sm < 1:
+            raise ConfigError("max_warps_per_sm must be >= 1")
+        if self.alu_issue_width < 1 or self.mem_issue_width < 1:
+            raise ConfigError("issue widths must be >= 1")
+        if self.l1_sets < 1 or self.l1_ways < 1:
+            raise ConfigError("L1 geometry must be positive")
+        if self.l2_sets < 1 or self.l2_ways < 1:
+            raise ConfigError("L2 geometry must be positive")
+        if self.dram_bytes_per_cycle <= 0:
+            raise ConfigError("dram_bytes_per_cycle must be positive")
+        if not 0.0 < self.vf_step < 1.0:
+            raise ConfigError("vf_step must lie in (0, 1)")
+
+    @property
+    def l1_lines(self) -> int:
+        """Total number of lines in one SM's L1 data cache."""
+        return self.l1_sets * self.l1_ways
+
+    @property
+    def l1_bytes(self) -> int:
+        """L1 capacity in bytes."""
+        return self.l1_lines * LINE_BYTES
+
+    def scaled(self, **overrides) -> "GPUConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class EqualizerConfig:
+    """Parameters of the Equalizer runtime (Section IV of the paper)."""
+
+    #: Cycles between two samples of the warp-state counters.
+    sample_interval: int = 128
+    #: Cycles per decision epoch (4096 => 32 samples per epoch).
+    epoch_cycles: int = 4096
+    #: Steady-state Xmem threshold that indicates bandwidth saturation.
+    xmem_saturation_threshold: float = 2.0
+    #: Consecutive differing epoch decisions needed before numBlocks moves.
+    block_hysteresis: int = 3
+    #: Delay, in SM cycles, before a granted VF change takes effect
+    #: (the paper's on-chip VRM switches in 512 SM cycles).
+    vf_transition_cycles: int = 512
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 1:
+            raise ConfigError("sample_interval must be >= 1")
+        if self.epoch_cycles < self.sample_interval:
+            raise ConfigError("epoch_cycles must be >= sample_interval")
+        if self.epoch_cycles % self.sample_interval != 0:
+            raise ConfigError(
+                "epoch_cycles must be a multiple of sample_interval")
+        if self.block_hysteresis < 1:
+            raise ConfigError("block_hysteresis must be >= 1")
+
+    @property
+    def samples_per_epoch(self) -> int:
+        """Number of counter samples contributing to one epoch decision."""
+        return self.epoch_cycles // self.sample_interval
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Analytical power model constants (GPUWattch-calibrated shape).
+
+    The absolute values are not meant to match a GTX 480 watt-for-watt;
+    they are chosen so the *split* between leakage, SM dynamic power and
+    memory-system power matches the published GPUWattch breakdown, which
+    is what the paper's energy conclusions depend on.
+    """
+
+    #: Board/uncore power unaffected by either VF domain (W).
+    constant_power_w: float = 10.0
+    #: SM-domain leakage at nominal voltage (W, all SMs); linear in V.
+    sm_leakage_w: float = 30.0
+    #: Memory-domain leakage at nominal voltage (W); linear in V.
+    mem_leakage_w: float = 11.9
+    #: SM-domain clock-tree/pipeline overhead at nominal VF (W); ~ f * V^2.
+    sm_clock_power_w: float = 16.0
+    #: Memory-domain clock/controller overhead at nominal VF (W); ~ f * V^2.
+    mem_clock_power_w: float = 6.0
+    #: DRAM active-standby power at the nominal operating point (W).
+    dram_standby_w: float = 10.0
+    #: Relative standby-current slope per unit frequency ratio.  2.0 makes
+    #: the +15% point draw 30% more standby power, matching the Hynix
+    #: GDDR5 datasheet trend quoted in the paper.
+    dram_standby_slope: float = 2.0
+    #: Energy per issued warp instruction at nominal voltage (J); ~ V^2.
+    energy_per_instruction_j: float = 2.3e-9
+    #: Energy per L2/NoC/MC transaction at nominal voltage (J); ~ V^2.
+    energy_per_l2_txn_j: float = 6.0e-9
+    #: Energy per 128 B DRAM transaction (J).
+    energy_per_dram_txn_j: float = 20.0e-9
+
+    def __post_init__(self) -> None:
+        for name in (
+                "constant_power_w", "sm_leakage_w", "mem_leakage_w",
+                "sm_clock_power_w", "mem_clock_power_w", "dram_standby_w",
+                "energy_per_instruction_j", "energy_per_l2_txn_j",
+                "energy_per_dram_txn_j"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    @property
+    def baseline_leakage_w(self) -> float:
+        """Total leakage at nominal voltage; the paper assumes 41.9 W."""
+        return self.sm_leakage_w + self.mem_leakage_w
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Bundle of all configuration needed to run one simulation."""
+
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    equalizer: EqualizerConfig = field(default_factory=EqualizerConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    #: Hard cap on simulated base ticks; a guard against runaway kernels.
+    max_ticks: int = 5_000_000
+    #: Seed for all stochastic workload behaviour.
+    seed: int = 2014
+
+    def __post_init__(self) -> None:
+        if self.max_ticks < 1:
+            raise ConfigError("max_ticks must be >= 1")
+
+
+#: The three discrete VF states of each domain (Section IV-C).
+VF_LOW, VF_NORMAL, VF_HIGH = -1, 0, 1
+VF_STATES: Tuple[int, int, int] = (VF_LOW, VF_NORMAL, VF_HIGH)
+VF_NAMES = {VF_LOW: "low", VF_NORMAL: "normal", VF_HIGH: "high"}
+
+
+def vf_ratio(state: int, step: float) -> float:
+    """Frequency (and, linearly, voltage) multiplier for a VF state."""
+    if state not in VF_STATES:
+        raise ConfigError(f"invalid VF state {state!r}")
+    return 1.0 + step * state

@@ -1,0 +1,27 @@
+"""Equalizer: the paper's contribution.
+
+The runtime observes four warp-state counters per SM over 32 samples
+per epoch, classifies the kernel's tendency with Algorithm 1, tunes the
+number of concurrent thread blocks via CTA pausing, and votes on SM and
+memory VF states which a global frequency manager applies by majority.
+"""
+
+from .controller import Controller
+from .decision import Decision, Tendency, decide
+from .equalizer import EqualizerController
+from .frequency import FrequencyManager
+from .modes import (Action, Mode, actions_for, ENERGY, PERFORMANCE)
+
+__all__ = [
+    "Controller",
+    "Decision",
+    "Tendency",
+    "decide",
+    "EqualizerController",
+    "FrequencyManager",
+    "Action",
+    "Mode",
+    "actions_for",
+    "ENERGY",
+    "PERFORMANCE",
+]

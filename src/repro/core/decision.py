@@ -1,0 +1,79 @@
+"""Algorithm 1: Equalizer's per-SM decision, implemented verbatim.
+
+Inputs are the per-sample averages of the four hardware counters over
+one epoch (``nActive``, ``nWaiting``, ``nMem`` = Xmem, ``nALU`` = Xalu)
+plus the warps-per-block ``Wcta``.  The output is a tendency, a block
+delta in {-1, 0, +1}, and whether CompAction / MemAction fires.
+
+The threshold logic (paper lines 7-23):
+
+* ``nMem > Wcta``       -> definitely memory intensive: one block fewer
+  and MemAction (a whole block's worth of warps is excess, so dropping
+  one block cannot starve the memory system).
+* ``nALU > Wcta``       -> definitely compute intensive: CompAction.
+* ``nMem > 2``          -> likely memory intensive (bandwidth saturated
+  in steady state): MemAction, but blocks stay (fewer blocks might
+  under-subscribe bandwidth).
+* ``nWaiting > nActive/2`` -> unsaturated but latency-hiding limited:
+  one more block, plus the action of the stronger inclination.
+* ``nActive == 0``      -> load imbalance (the SM ran out of work):
+  CompAction, to finish stragglers early / save memory energy.
+* otherwise             -> degenerate: change nothing.
+"""
+
+from dataclasses import dataclass
+
+#: Tendency labels (for reporting; the actions carry the semantics).
+TENDENCY_MEMORY_HEAVY = "memory_heavy"
+TENDENCY_COMPUTE = "compute"
+TENDENCY_MEMORY = "memory"
+TENDENCY_UNSATURATED_COMPUTE = "unsaturated_compute"
+TENDENCY_UNSATURATED_MEMORY = "unsaturated_memory"
+TENDENCY_IDLE = "idle"
+TENDENCY_DEGENERATE = "degenerate"
+
+
+class Tendency:
+    """Namespace of tendency constants."""
+
+    MEMORY_HEAVY = TENDENCY_MEMORY_HEAVY
+    COMPUTE = TENDENCY_COMPUTE
+    MEMORY = TENDENCY_MEMORY
+    UNSATURATED_COMPUTE = TENDENCY_UNSATURATED_COMPUTE
+    UNSATURATED_MEMORY = TENDENCY_UNSATURATED_MEMORY
+    IDLE = TENDENCY_IDLE
+    DEGENERATE = TENDENCY_DEGENERATE
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one epoch's Algorithm 1 evaluation."""
+
+    tendency: str
+    block_delta: int
+    comp_action: bool
+    mem_action: bool
+
+
+def decide(n_active: float, n_waiting: float, n_mem: float, n_alu: float,
+           wcta: int, xmem_saturation: float = 2.0) -> Decision:
+    """Evaluate Algorithm 1 for one SM's epoch counters."""
+    if n_mem > wcta:
+        # Definitely memory intensive (or cache thrashing): a whole
+        # block's warps are excess; shed one block.
+        return Decision(TENDENCY_MEMORY_HEAVY, -1, False, True)
+    if n_alu > wcta:
+        # Definitely compute intensive.
+        return Decision(TENDENCY_COMPUTE, 0, True, False)
+    if n_mem > xmem_saturation:
+        # Likely memory intensive: bandwidth saturated in steady state.
+        return Decision(TENDENCY_MEMORY, 0, False, True)
+    if n_waiting > n_active / 2.0:
+        # Close to ideal: add parallelism, act on the inclination.
+        if n_alu > n_mem:
+            return Decision(TENDENCY_UNSATURATED_COMPUTE, 1, True, False)
+        return Decision(TENDENCY_UNSATURATED_MEMORY, 1, False, True)
+    if n_active == 0:
+        # Load imbalance: this SM is idle while others still work.
+        return Decision(TENDENCY_IDLE, 0, True, False)
+    return Decision(TENDENCY_DEGENERATE, 0, False, False)

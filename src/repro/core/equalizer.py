@@ -1,0 +1,124 @@
+"""The Equalizer runtime controller (Sections III and IV).
+
+One instance manages the whole GPU: it holds per-SM decision state
+(block-change streaks for the 3-epoch hysteresis) and the global
+frequency manager.  At each epoch boundary it runs Algorithm 1 on every
+SM's counter averages, adjusts that SM's concurrent-block target via
+CTA pausing, and submits the per-SM VF preferences to the majority
+vote.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import EqualizerConfig
+from ..errors import ConfigError
+from .controller import Controller
+from .decision import decide
+from .frequency import FrequencyManager
+from .modes import MAINTAIN, MODES, comp_action, mem_action
+
+
+@dataclass(frozen=True)
+class EpochDecision:
+    """One SM's decision in one epoch (kept for analysis/figures)."""
+
+    epoch: int
+    sm_id: int
+    tendency: str
+    block_delta: int
+    target_blocks: int
+    applied: bool
+
+
+class EqualizerController(Controller):
+    """Equalizer in either energy or performance mode."""
+
+    def __init__(self, mode: str = "performance",
+                 config: Optional[EqualizerConfig] = None,
+                 manage_blocks: bool = True,
+                 manage_frequency: bool = True) -> None:
+        if mode not in MODES:
+            raise ConfigError(f"unknown Equalizer mode {mode!r}")
+        self.mode = mode
+        self.config = config or EqualizerConfig()
+        self.manage_blocks = manage_blocks
+        self.manage_frequency = manage_frequency
+        self.freq_manager: Optional[FrequencyManager] = None
+        self._streak_dir: List[int] = []
+        self._streak_len: List[int] = []
+        self._epoch = 0
+        #: Full decision log, one entry per SM per epoch.
+        self.decisions: List[EpochDecision] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, gpu) -> None:
+        n = len(gpu.sms)
+        self.freq_manager = FrequencyManager(n)
+        self._streak_dir = [0] * n
+        self._streak_len = [0] * n
+
+    def on_epoch(self, gpu, per_sm) -> None:
+        self._epoch += 1
+        cfg = self.config
+        requests = []
+        for sm, (active, waiting, xmem, xalu, _idle) in zip(gpu.sms,
+                                                            per_sm):
+            d = decide(active, waiting, xmem, xalu, sm.wcta,
+                       xmem_saturation=cfg.xmem_saturation_threshold)
+            applied = False
+            if self.manage_blocks and d.block_delta != 0:
+                applied = self._apply_block_hysteresis(sm, d.block_delta)
+            elif d.block_delta == 0:
+                self._streak_len[sm.sm_id] = 0
+                self._streak_dir[sm.sm_id] = 0
+            if d.comp_action:
+                requests.append(comp_action(self.mode))
+            elif d.mem_action:
+                requests.append(mem_action(self.mode))
+            else:
+                requests.append(MAINTAIN)
+            self.decisions.append(EpochDecision(
+                epoch=self._epoch, sm_id=sm.sm_id, tendency=d.tendency,
+                block_delta=d.block_delta,
+                target_blocks=sm.target_blocks, applied=applied))
+        if self.manage_frequency:
+            self.freq_manager.step(gpu, requests)
+
+    def _apply_block_hysteresis(self, sm, delta: int) -> bool:
+        """Count same-direction decisions; move numBlocks after three.
+
+        Section IV-B: a change is enforced only when three consecutive
+        epoch decisions disagree with the current numBlocks in the same
+        direction, filtering spurious temporal changes.
+        """
+        i = sm.sm_id
+        if self._streak_dir[i] == delta:
+            self._streak_len[i] += 1
+        else:
+            self._streak_dir[i] = delta
+            self._streak_len[i] = 1
+        if self._streak_len[i] < self.config.block_hysteresis:
+            return False
+        self._streak_len[i] = 0
+        self._streak_dir[i] = 0
+        new_target = sm.target_blocks + delta
+        if delta > 0 and sm.target_blocks >= sm.block_limit():
+            return False
+        if delta < 0 and sm.target_blocks <= 1:
+            return False
+        sm.set_target_blocks(new_target)
+        return True
+
+    # ------------------------------------------------------------------
+    def block_trace(self, sm_id: int = 0):
+        """(epoch, target_blocks) trace for one SM (Figure 11a)."""
+        return [(d.epoch, d.target_blocks) for d in self.decisions
+                if d.sm_id == sm_id]
+
+    def tendency_counts(self):
+        """Histogram of tendencies over all SM-epochs."""
+        counts = {}
+        for d in self.decisions:
+            counts[d.tendency] = counts.get(d.tendency, 0) + 1
+        return counts

@@ -1,0 +1,77 @@
+"""The global frequency manager (Figure 3, Section IV-C).
+
+Every epoch each SM submits a per-domain VF preference derived from its
+CompAction/MemAction and the objective (Table I).  The manager moves a
+domain one step along {low, normal, high} only when a strict majority
+of SMs requested that direction -- frequency changes are global, so a
+lone SM's view must not whipsaw the chip.
+"""
+
+from typing import Iterable
+
+from ..config import VF_HIGH, VF_LOW
+from ..errors import ConfigError
+from .modes import Action
+
+
+class FrequencyManager:
+    """Majority-vote VF ladder for the SM and memory domains."""
+
+    def __init__(self, sm_count: int) -> None:
+        if sm_count < 1:
+            raise ConfigError("sm_count must be >= 1")
+        self.sm_count = sm_count
+        #: Counts of (up, down) votes applied in the manager's lifetime.
+        self.sm_steps_up = 0
+        self.sm_steps_down = 0
+        self.mem_steps_up = 0
+        self.mem_steps_down = 0
+
+    def tally(self, requests: Iterable[Action], sm_state: int,
+              mem_state: int):
+        """Reduce per-SM target votes to per-domain deltas in {-1,0,+1}.
+
+        Each SM's target is turned into a direction relative to the
+        current state; a strict majority of *all* SMs (not just voters)
+        must agree on a direction for the domain to move one step.
+        """
+        sm_up = sm_down = mem_up = mem_down = 0
+        for req in requests:
+            if req.sm_target is not None:
+                if req.sm_target > sm_state:
+                    sm_up += 1
+                elif req.sm_target < sm_state:
+                    sm_down += 1
+            if req.mem_target is not None:
+                if req.mem_target > mem_state:
+                    mem_up += 1
+                elif req.mem_target < mem_state:
+                    mem_down += 1
+        half = self.sm_count / 2.0
+        sm_delta = 1 if sm_up > half else (-1 if sm_down > half else 0)
+        mem_delta = 1 if mem_up > half else (-1 if mem_down > half else 0)
+        return sm_delta, mem_delta
+
+    def step(self, gpu, requests: Iterable[Action]) -> None:
+        """Apply one epoch's majority decision to the GPU, one step per
+        domain per epoch (the gradual transition of Section IV-C)."""
+        sm_delta, mem_delta = self.tally(requests, gpu.sm_vf, gpu.mem_vf)
+        new_sm = _clamp(gpu.sm_vf + sm_delta)
+        new_mem = _clamp(gpu.mem_vf + mem_delta)
+        if sm_delta > 0 and new_sm > gpu.sm_vf:
+            self.sm_steps_up += 1
+        elif sm_delta < 0 and new_sm < gpu.sm_vf:
+            self.sm_steps_down += 1
+        if mem_delta > 0 and new_mem > gpu.mem_vf:
+            self.mem_steps_up += 1
+        elif mem_delta < 0 and new_mem < gpu.mem_vf:
+            self.mem_steps_down += 1
+        gpu.set_vf(sm_vf=new_sm, mem_vf=new_mem)
+
+
+def _clamp(state: int) -> int:
+    if state < VF_LOW:
+        return VF_LOW
+    if state > VF_HIGH:
+        return VF_HIGH
+    return state

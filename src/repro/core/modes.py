@@ -1,0 +1,92 @@
+"""Objectives and the Table I action matrix.
+
+Table I of the paper maps (kernel tendency, objective) to actions on
+the SM frequency, the memory frequency, and the number of concurrent
+thread blocks.  ``CompAction`` and ``MemAction`` from Algorithm 1
+select a row; the mode selects the column:
+
+===================  =====================  =====================
+Tendency             Energy objective       Performance objective
+===================  =====================  =====================
+Compute intensive    SM maintain, mem low   SM high, mem maintain
+Memory intensive     SM low, mem maintain   SM maintain, mem high
+===================  =====================  =====================
+
+"Maintain" is read as a *target* of the nominal state, not as "leave
+wherever it happens to be": when a kernel's tendency flips between
+phases, the previously throttled (or boosted) domain is walked back to
+nominal one step per epoch.  Without this, a kernel alternating
+compute/memory inclinations would end up with both domains stuck low
+in energy mode (or both high in performance mode), which is neither
+what Table I describes nor sensible.
+
+Cache-sensitive kernels additionally run the *optimal* (reduced) number
+of blocks, which Algorithm 1 reaches through its ``nMem > Wcta`` arm
+rather than through this table.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import VF_HIGH, VF_LOW, VF_NORMAL, VF_STATES
+from ..errors import ConfigError
+
+#: The two objectives (Section III).
+ENERGY = "energy"
+PERFORMANCE = "performance"
+MODES = (ENERGY, PERFORMANCE)
+
+
+class Mode:
+    """Namespace of the objective constants."""
+
+    ENERGY = ENERGY
+    PERFORMANCE = PERFORMANCE
+
+
+@dataclass(frozen=True)
+class Action:
+    """Per-domain VF *target* vote.
+
+    ``None`` means the SM expresses no opinion for that domain this
+    epoch; a VF state means the SM wants the domain stepped toward that
+    state.
+    """
+
+    sm_target: Optional[int] = None
+    mem_target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for value in (self.sm_target, self.mem_target):
+            if value is not None and value not in VF_STATES:
+                raise ConfigError(f"invalid VF target {value!r}")
+
+
+#: No VF request this epoch.
+MAINTAIN = Action(None, None)
+
+
+def comp_action(mode: str) -> Action:
+    """Table I row for a compute-intensive tendency."""
+    _check(mode)
+    if mode == ENERGY:
+        return Action(sm_target=VF_NORMAL, mem_target=VF_LOW)
+    return Action(sm_target=VF_HIGH, mem_target=VF_NORMAL)
+
+
+def mem_action(mode: str) -> Action:
+    """Table I row for a memory-intensive tendency."""
+    _check(mode)
+    if mode == ENERGY:
+        return Action(sm_target=VF_LOW, mem_target=VF_NORMAL)
+    return Action(sm_target=VF_NORMAL, mem_target=VF_HIGH)
+
+
+def actions_for(mode: str):
+    """Both Table I rows for an objective: (CompAction, MemAction)."""
+    return comp_action(mode), mem_action(mode)
+
+
+def _check(mode: str) -> None:
+    if mode not in MODES:
+        raise ConfigError(f"unknown mode {mode!r}; expected one of {MODES}")

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the Equalizer reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an impossible state."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a kernel specification cannot be realised."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is invoked incorrectly."""

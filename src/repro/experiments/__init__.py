@@ -1,0 +1,17 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(...)`` returning a plain data structure and
+``report(data)`` rendering the same rows/series the paper's table or
+figure shows.  The CLI (``python -m repro``) and the benchmarks under
+``benchmarks/`` are thin wrappers over these.
+"""
+
+from .common import (EXPERIMENT_EQUALIZER_CONFIG, RunCache, default_sim,
+                     geomean)
+
+__all__ = [
+    "EXPERIMENT_EQUALIZER_CONFIG",
+    "RunCache",
+    "default_sim",
+    "geomean",
+]

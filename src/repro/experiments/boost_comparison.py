@@ -1,0 +1,69 @@
+"""Equalizer versus a power-budget (GPU-Boost-style) policy.
+
+Section VI of the paper contrasts Equalizer with NVIDIA Boost, which
+raises the core clock on remaining power budget rather than on kernel
+requirements.  This harness quantifies the difference: a budget policy
+buys compute kernels part of the SM-boost win but spends the same
+energy on memory-bound kernels for no return, and never discovers the
+concurrency reductions cache-sensitive kernels need.
+"""
+
+from typing import Dict, List, Optional
+
+from ..workloads import ALL_KERNELS, kernel_by_name
+from .common import BOOST, EQ_PERF, RunCache, geomean
+from .report import format_table
+
+
+def run(cache: Optional[RunCache] = None,
+        kernels: Optional[List[str]] = None) -> Dict:
+    cache = cache or RunCache()
+    names = kernels or [k.name for k in ALL_KERNELS]
+    per_kernel = {}
+    for name in names:
+        base = cache.baseline(name)
+        eq = cache.run(name, EQ_PERF)
+        boost = cache.run(name, BOOST)
+        per_kernel[name] = {
+            "category": kernel_by_name(name).category,
+            "equalizer": eq.performance_vs(base),
+            "equalizer_energy": eq.energy_increase_vs(base),
+            "boost": boost.performance_vs(base),
+            "boost_energy": boost.energy_increase_vs(base),
+        }
+    summary = {
+        "equalizer_gmean": geomean(
+            [e["equalizer"] for e in per_kernel.values()]),
+        "boost_gmean": geomean(
+            [e["boost"] for e in per_kernel.values()]),
+        "equalizer_energy_mean": sum(
+            e["equalizer_energy"] for e in per_kernel.values())
+        / len(per_kernel),
+        "boost_energy_mean": sum(
+            e["boost_energy"] for e in per_kernel.values())
+        / len(per_kernel),
+    }
+    return {"per_kernel": per_kernel, "summary": summary}
+
+
+def report(data: Dict) -> str:
+    order = {"compute": 0, "memory": 1, "cache": 2, "unsaturated": 3}
+    rows = []
+    for name, e in sorted(data["per_kernel"].items(),
+                          key=lambda kv: (order[kv[1]["category"]],
+                                          kv[0])):
+        rows.append((name, e["category"], f"{e['equalizer']:.2f}",
+                     f"{e['boost']:.2f}",
+                     f"{e['equalizer_energy'] * 100:+.1f}%",
+                     f"{e['boost_energy'] * 100:+.1f}%"))
+    s = data["summary"]
+    rows.append(("GMEAN", "", f"{s['equalizer_gmean']:.2f}",
+                 f"{s['boost_gmean']:.2f}",
+                 f"{s['equalizer_energy_mean'] * 100:+.1f}%",
+                 f"{s['boost_energy_mean'] * 100:+.1f}%"))
+    return format_table(
+        ("Kernel", "Category", "Equalizer", "PowerBudget", "Eq dE",
+         "PB dE"),
+        rows,
+        title="Equalizer vs power-budget (Boost-style) policy, "
+              "performance objective")

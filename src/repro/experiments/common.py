@@ -1,0 +1,151 @@
+"""Shared plumbing for the experiment harnesses.
+
+Scaling note.  The paper samples counters every 128 cycles over
+4096-cycle epochs, on kernels that run for millions of cycles.  Our
+synthetic kernels are 50-100x shorter so full sweeps stay tractable, so
+the *experiment default* shrinks the epoch to 2048 cycles with a
+64-cycle sample interval -- the same 32 samples per epoch -- which
+preserves the ratio of decision latency to kernel duration.  The
+library default (:class:`repro.config.EqualizerConfig`) keeps the
+paper's constants.
+"""
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..baselines import (CCWSController, DynCTAController,
+                         PowerBudgetController, StaticController)
+from ..config import (EqualizerConfig, SimConfig, VF_HIGH, VF_LOW,
+                      VF_NORMAL)
+from ..core import EqualizerController
+from ..errors import ExperimentError
+from ..sim import RunResult, run_kernel
+from ..workloads import build_workload, kernel_by_name
+
+#: Experiment-scale Equalizer timing (see module docstring).
+EXPERIMENT_EQUALIZER_CONFIG = EqualizerConfig(sample_interval=64,
+                                              epoch_cycles=2048)
+
+
+def default_sim() -> SimConfig:
+    """The simulation configuration used by every experiment."""
+    return SimConfig(equalizer=EXPERIMENT_EQUALIZER_CONFIG)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports GMEAN per category."""
+    values = list(values)
+    if not values:
+        raise ExperimentError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ExperimentError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+#: Controller keys understood by :class:`RunCache`.
+#:
+#: ``("baseline",)``                      -- stock GPU
+#: ``("static", sm_vf, mem_vf, blocks)``  -- pinned operating point
+#: ``("equalizer", mode)``                -- the paper's system
+#: ``("equalizer", mode, "blocks-only")`` -- frequencies frozen (Fig 11a)
+#: ``("dyncta",)`` / ``("ccws",)``        -- comparators
+ControllerKey = Tuple
+
+
+def make_controller(key: ControllerKey,
+                    eq_config: Optional[EqualizerConfig] = None):
+    """Instantiate the controller a key describes (None for baseline)."""
+    eq_config = eq_config or EXPERIMENT_EQUALIZER_CONFIG
+    kind = key[0]
+    if kind == "baseline":
+        return None
+    if kind == "static":
+        _, sm_vf, mem_vf, blocks = key
+        return StaticController(sm_vf=sm_vf, mem_vf=mem_vf, blocks=blocks)
+    if kind == "equalizer":
+        mode = key[1]
+        blocks_only = len(key) > 2 and key[2] == "blocks-only"
+        return EqualizerController(mode, config=eq_config,
+                                   manage_frequency=not blocks_only)
+    if kind == "dyncta":
+        return DynCTAController()
+    if kind == "ccws":
+        return CCWSController()
+    if kind == "boost":
+        return (PowerBudgetController(budget_w=key[1]) if len(key) > 1
+                else PowerBudgetController())
+    raise ExperimentError(f"unknown controller key {key!r}")
+
+
+# Convenience keys used across figures.
+BASELINE = ("baseline",)
+SM_HIGH = ("static", VF_HIGH, VF_NORMAL, None)
+SM_LOW = ("static", VF_LOW, VF_NORMAL, None)
+MEM_HIGH = ("static", VF_NORMAL, VF_HIGH, None)
+MEM_LOW = ("static", VF_NORMAL, VF_LOW, None)
+EQ_PERF = ("equalizer", "performance")
+EQ_ENERGY = ("equalizer", "energy")
+DYNCTA = ("dyncta",)
+CCWS = ("ccws",)
+BOOST = ("boost",)
+
+
+def static_blocks(n: int) -> ControllerKey:
+    """Key for a run pinned to ``n`` concurrent blocks per SM."""
+    return ("static", VF_NORMAL, VF_NORMAL, n)
+
+
+class RunCache:
+    """Memoises simulation runs within a process.
+
+    Several figures share configurations (every figure needs the
+    baseline run of every kernel, for instance); the cache makes a full
+    regeneration of all figures cost one simulation per distinct
+    (kernel, controller, scale) triple.
+    """
+
+    def __init__(self, sim: Optional[SimConfig] = None,
+                 scale: float = 1.0) -> None:
+        self.sim = sim or default_sim()
+        self.scale = scale
+        self._runs: Dict[Tuple, RunResult] = {}
+        self._controllers: Dict[Tuple, object] = {}
+
+    def run(self, kernel: str, key: ControllerKey = BASELINE) -> RunResult:
+        """Run (or recall) one kernel under one controller."""
+        cache_key = (kernel, key)
+        hit = self._runs.get(cache_key)
+        if hit is not None:
+            return hit
+        workload = build_workload(kernel_by_name(kernel), scale=self.scale,
+                                  seed=self.sim.seed)
+        controller = make_controller(key, self.sim.equalizer)
+        result = run_kernel(workload, self.sim, controller=controller)
+        self._runs[cache_key] = result
+        self._controllers[cache_key] = controller
+        return result
+
+    def controller(self, kernel: str, key: ControllerKey):
+        """The controller instance used for a cached run (for traces)."""
+        cache_key = (kernel, key)
+        if cache_key not in self._runs:
+            self.run(kernel, key)
+        return self._controllers[cache_key]
+
+    def baseline(self, kernel: str) -> RunResult:
+        return self.run(kernel, BASELINE)
+
+    def performance(self, kernel: str, key: ControllerKey) -> float:
+        """Speedup of ``key`` over the baseline for one kernel."""
+        return self.run(kernel, key).performance_vs(self.baseline(kernel))
+
+    def energy_increase(self, kernel: str, key: ControllerKey) -> float:
+        return self.run(kernel, key).energy_increase_vs(
+            self.baseline(kernel))
+
+    def energy_savings(self, kernel: str, key: ControllerKey) -> float:
+        return self.run(kernel, key).energy_savings_vs(
+            self.baseline(kernel))
+
+    def __len__(self) -> int:
+        return len(self._runs)

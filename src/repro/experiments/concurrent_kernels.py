@@ -1,0 +1,81 @@
+"""Concurrent kernels on SM partitions: per-SM decisions pay off.
+
+Section I of the paper motivates per-SM decision making with GPUs that
+run "different kernels on each SM"; Section V-A1 adds that per-SM
+voltage regulators would be needed when co-resident kernels disagree.
+This harness runs a compute kernel and a memory kernel concurrently on
+disjoint SM partitions and compares:
+
+* the baseline GPU,
+* chip-wide Equalizer (majority vote across *both* partitions -- the
+  minority partition's needs are outvoted or the vote deadlocks),
+* per-SM-VRM Equalizer (each partition tunes its own SMs; only the
+  memory domain still needs a chip-wide majority).
+"""
+
+from dataclasses import replace
+from typing import Dict
+
+from ..core import EqualizerController
+from ..sim import run_kernel
+from ..sim.multikernel import MultiKernelWorkload
+from ..sim.per_sm_vrm import (PerSMEqualizerController,
+                              run_kernel_per_sm_vrm)
+from ..workloads import kernel_by_name
+from .common import default_sim
+from .report import format_table
+
+
+def make_mix(scale: float = 1.0, compute_sms: int = 7,
+             seed: int = 2014) -> MultiKernelWorkload:
+    """cutcp on ``compute_sms`` SMs, cfd-1 on the rest of 15."""
+    compute = kernel_by_name("cutcp").scaled(scale)
+    memory = kernel_by_name("cfd-1").scaled(scale)
+    compute = replace(compute,
+                      total_blocks=max(compute_sms * compute.max_blocks,
+                                       compute.total_blocks
+                                       * compute_sms // 15))
+    memory_sms = 15 - compute_sms
+    memory = replace(memory,
+                     total_blocks=max(memory_sms * memory.max_blocks,
+                                      memory.total_blocks
+                                      * memory_sms // 15))
+    return MultiKernelWorkload(
+        [(compute, list(range(compute_sms))),
+         (memory, list(range(compute_sms, 15)))], seed=seed)
+
+
+def run(scale: float = 1.0, sim=None,
+        compute_sms: int = 7) -> Dict:
+    sim = sim or default_sim()
+    eqc = sim.equalizer
+    base = run_kernel(make_mix(scale, compute_sms), sim)
+    data: Dict = {"baseline_ticks": base.result.ticks,
+                  "compute_sms": compute_sms}
+    for mode in ("performance", "energy"):
+        g = run_kernel(make_mix(scale, compute_sms), sim,
+                       controller=EqualizerController(mode, config=eqc))
+        p = run_kernel_per_sm_vrm(
+            make_mix(scale, compute_sms), sim,
+            controller=PerSMEqualizerController(mode, config=eqc))
+        data[mode] = {
+            "global": {"speedup": g.performance_vs(base),
+                       "energy_delta": g.energy_increase_vs(base)},
+            "per_sm": {"speedup": p.performance_vs(base),
+                       "energy_delta": p.energy_increase_vs(base)},
+        }
+    return data
+
+
+def report(data: Dict) -> str:
+    rows = []
+    for mode in ("performance", "energy"):
+        for label in ("global", "per_sm"):
+            e = data[mode][label]
+            rows.append((mode, label, f"{e['speedup']:.2f}",
+                         f"{e['energy_delta'] * 100:+.1f}%"))
+    return format_table(
+        ("Mode", "Regulator", "Speedup", "Energy delta"), rows,
+        title=f"Concurrent kernels (cutcp on {data['compute_sms']} SMs "
+              f"+ cfd-1 on {15 - data['compute_sms']}): chip-wide vs "
+              "per-SM VRMs")

@@ -1,0 +1,47 @@
+"""Figure 10: Equalizer versus DynCTA and CCWS on cache kernels.
+
+Speedup over the baseline GPU for the seven cache-sensitive kernels
+under DynCTA [15], CCWS [26], and Equalizer in performance mode.
+
+Shape targets from the paper: all three help; Equalizer has the best
+geomean; CCWS beats Equalizer on mmer; DynCTA trails on kernels whose
+requirements shift mid-run (spmv) but is close on stable ones (bp-2,
+kmn).
+"""
+
+from typing import Dict, List, Optional
+
+from ..workloads import kernels_in_category
+from .common import CCWS, DYNCTA, EQ_PERF, RunCache, geomean
+from .report import format_table
+
+CACHE_KERNELS = [k.name for k in kernels_in_category("cache")]
+CONFIGS = {"dyncta": DYNCTA, "ccws": CCWS, "equalizer": EQ_PERF}
+
+
+def run(cache: Optional[RunCache] = None,
+        kernels: Optional[List[str]] = None) -> Dict:
+    cache = cache or RunCache()
+    names = kernels or CACHE_KERNELS
+    per_kernel = {}
+    for name in names:
+        base = cache.baseline(name)
+        per_kernel[name] = {
+            label: cache.run(name, key).performance_vs(base)
+            for label, key in CONFIGS.items()}
+    summary = {label: geomean([per_kernel[n][label] for n in per_kernel])
+               for label in CONFIGS}
+    return {"per_kernel": per_kernel, "summary": summary}
+
+
+def report(data: Dict) -> str:
+    rows = [(name, f"{e['dyncta']:.2f}", f"{e['ccws']:.2f}",
+             f"{e['equalizer']:.2f}")
+            for name, e in sorted(data["per_kernel"].items())]
+    s = data["summary"]
+    rows.append(("GMEAN", f"{s['dyncta']:.2f}", f"{s['ccws']:.2f}",
+                 f"{s['equalizer']:.2f}"))
+    return format_table(
+        ("Kernel", "DynCTA", "CCWS", "Equalizer"), rows,
+        title="Figure 10: cache-sensitive kernels, speedup over "
+              "baseline")

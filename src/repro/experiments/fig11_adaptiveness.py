@@ -1,0 +1,92 @@
+"""Figure 11: Equalizer's adaptiveness across and within invocations.
+
+* 11a -- bfs-2 with frequencies frozen (blocks-only Equalizer): the
+  per-invocation execution time and the block-count trajectory, next to
+  the static 1/2/3-block runs and the per-invocation optimum of
+  Figure 2a.
+* 11b -- spmv within one invocation: the waiting-warp series and the
+  total (unpaused) warp trajectory under Equalizer versus DynCTA.
+  Equalizer re-raises concurrency when waiting warps dominate; DynCTA's
+  waiting heuristic keeps concurrency low.
+"""
+
+from typing import Dict, Optional
+
+from .common import DYNCTA, RunCache
+from .fig2_variation import run_fig2a
+
+BFS = "bfs-2"
+SPMV = "spmv"
+EQ_BLOCKS_ONLY = ("equalizer", "performance", "blocks-only")
+
+
+def run_fig11a(cache: Optional[RunCache] = None) -> Dict:
+    cache = cache or RunCache()
+    fig2a = run_fig2a(cache)
+    eq = cache.run(BFS, EQ_BLOCKS_ONLY)
+    blocks_by_invocation = {}
+    for e in eq.result.epochs:
+        blocks_by_invocation.setdefault(e.invocation, []).append(e.blocks)
+    avg_blocks = {inv: sum(v) / len(v)
+                  for inv, v in blocks_by_invocation.items()}
+    return {
+        "static": fig2a,
+        "equalizer_ticks": list(eq.result.invocation_ticks),
+        "equalizer_blocks": avg_blocks,
+        "equalizer_total": eq.result.ticks,
+        "optimal_total": sum(fig2a["optimal"]),
+        "best_static_total": min(sum(v) for v in
+                                 fig2a["per_config"].values()),
+    }
+
+
+def run_fig11b(cache: Optional[RunCache] = None) -> Dict:
+    cache = cache or RunCache()
+    series = {}
+    for label, key in (("equalizer", EQ_BLOCKS_ONLY), ("dyncta", DYNCTA)):
+        r = cache.run(SPMV, key)
+        series[label] = [{
+            "epoch": e.index,
+            "waiting": e.waiting,
+            "total_warps": e.active,
+            "blocks": e.blocks,
+        } for e in r.result.epochs]
+        series[label + "_ticks"] = r.result.ticks
+    return series
+
+
+def run(cache: Optional[RunCache] = None) -> Dict:
+    cache = cache or RunCache()
+    return {"fig11a": run_fig11a(cache), "fig11b": run_fig11b(cache)}
+
+
+def report(data: Dict) -> str:
+    a = data["fig11a"]
+    norm = a["static"]["normaliser"]
+    lines = ["Figure 11a: bfs-2, Equalizer (blocks only) vs statics"]
+    lines.append("inv:  " + " ".join(
+        f"{i:>6d}" for i in range(len(a["equalizer_ticks"]))))
+    lines.append("eq:   " + " ".join(
+        f"{t / norm:6.3f}" for t in a["equalizer_ticks"]))
+    lines.append("blk:  " + " ".join(
+        f"{a['equalizer_blocks'].get(i, 0):6.2f}"
+        for i in range(len(a["equalizer_ticks"]))))
+    lines.append(
+        f"totals: equalizer={a['equalizer_total'] / norm:.3f} "
+        f"best-static={a['best_static_total'] / norm:.3f} "
+        f"optimal={a['optimal_total'] / norm:.3f} (of 3-block run)")
+    b = data["fig11b"]
+    lines.append("")
+    lines.append("Figure 11b: spmv within-invocation adaptation")
+    lines.append("epoch  eq.wait eq.warps eq.blk | dyn.wait dyn.warps "
+                 "dyn.blk")
+    for pe, pd in zip(b["equalizer"], b["dyncta"]):
+        lines.append(
+            f"{pe['epoch']:>5d}  {pe['waiting']:7.2f} "
+            f"{pe['total_warps']:8.2f} {pe['blocks']:6.2f} | "
+            f"{pd['waiting']:8.2f} {pd['total_warps']:9.2f} "
+            f"{pd['blocks']:7.2f}")
+    lines.append(
+        f"ticks: equalizer={b['equalizer_ticks']} "
+        f"dyncta={b['dyncta_ticks']}")
+    return "\n".join(lines)

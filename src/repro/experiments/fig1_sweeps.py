@@ -1,0 +1,108 @@
+"""Figure 1: impact of the three knobs on performance and efficiency.
+
+Six sub-figures, each a scatter of (energy efficiency, performance) per
+kernel relative to the baseline:
+
+* 1a / 1b -- SM frequency +15% / -15%
+* 1c / 1d -- DRAM frequency +15% / -15%
+* 1e      -- performance versus the number of concurrent blocks
+             (reported as the best point per kernel plus the sweep)
+* 1f      -- statically optimal block count scatter
+
+Energy efficiency follows the paper's definition: baseline energy
+divided by the configuration's energy (higher is better).
+"""
+
+from typing import Dict, List, Optional
+
+from ..workloads import ALL_KERNELS, kernel_by_name
+from .common import (MEM_HIGH, MEM_LOW, RunCache, SM_HIGH, SM_LOW,
+                     static_blocks)
+from .report import format_table
+
+SUBFIGURES = {
+    "1a": SM_HIGH,
+    "1b": SM_LOW,
+    "1c": MEM_HIGH,
+    "1d": MEM_LOW,
+}
+
+
+def sweep_block_counts(cache: RunCache, kernel: str) -> Dict[int, Dict]:
+    """Performance/efficiency at every feasible block count."""
+    spec = kernel_by_name(kernel)
+    limit = min(spec.max_blocks, cache.sim.gpu.max_blocks_per_sm,
+                cache.sim.gpu.max_warps_per_sm // spec.wcta)
+    out = {}
+    base = cache.baseline(kernel)
+    for n in range(1, limit + 1):
+        run = cache.run(kernel, static_blocks(n))
+        out[n] = {
+            "performance": run.performance_vs(base),
+            "efficiency": run.energy_efficiency_vs(base),
+        }
+    return out
+
+
+def run(cache: Optional[RunCache] = None,
+        kernels: Optional[List[str]] = None) -> Dict:
+    """Compute all six sub-figures; returns nested dictionaries."""
+    cache = cache or RunCache()
+    names = kernels or [k.name for k in ALL_KERNELS]
+    data: Dict = {"frequency": {}, "blocks": {}, "static_optimal": {}}
+    for fig, key in SUBFIGURES.items():
+        points = {}
+        for name in names:
+            base = cache.baseline(name)
+            run_ = cache.run(name, key)
+            points[name] = {
+                "performance": run_.performance_vs(base),
+                "efficiency": run_.energy_efficiency_vs(base),
+                "category": kernel_by_name(name).category,
+            }
+        data["frequency"][fig] = points
+    for name in names:
+        sweep = sweep_block_counts(cache, name)
+        data["blocks"][name] = sweep
+        best_n = max(sweep, key=lambda n: sweep[n]["performance"])
+        data["static_optimal"][name] = {
+            "blocks": best_n,
+            "performance": sweep[best_n]["performance"],
+            "efficiency": sweep[best_n]["efficiency"],
+            "category": kernel_by_name(name).category,
+        }
+    return data
+
+
+def report(data: Dict) -> str:
+    """Render the six sub-figures as tables."""
+    sections = []
+    titles = {
+        "1a": "Figure 1a: SM frequency +15%",
+        "1b": "Figure 1b: SM frequency -15%",
+        "1c": "Figure 1c: DRAM frequency +15%",
+        "1d": "Figure 1d: DRAM frequency -15%",
+    }
+    for fig in ("1a", "1b", "1c", "1d"):
+        rows = [(n, p["category"], f"{p['performance']:.3f}",
+                 f"{p['efficiency']:.3f}")
+                for n, p in sorted(data["frequency"][fig].items())]
+        sections.append(format_table(
+            ("Kernel", "Category", "Performance", "EnergyEfficiency"),
+            rows, title=titles[fig]))
+    rows = []
+    for name, sweep in sorted(data["blocks"].items()):
+        series = " ".join(f"b{n}={v['performance']:.2f}"
+                          for n, v in sorted(sweep.items()))
+        rows.append((name, series))
+    sections.append(format_table(
+        ("Kernel", "Performance vs concurrent blocks"), rows,
+        title="Figure 1e: performance versus number of thread blocks"))
+    rows = [(n, p["category"], p["blocks"], f"{p['performance']:.3f}",
+             f"{p['efficiency']:.3f}")
+            for n, p in sorted(data["static_optimal"].items())]
+    sections.append(format_table(
+        ("Kernel", "Category", "BestBlocks", "Performance",
+         "EnergyEfficiency"),
+        rows, title="Figure 1f: statically optimal thread count"))
+    return "\n\n".join(sections)

@@ -1,0 +1,89 @@
+"""Figure 2: kernel requirements vary across and within invocations.
+
+* 2a -- bfs-2's per-invocation execution time under 1, 2 and 3 fixed
+  blocks, normalised to the all-invocations total of the 3-block run,
+  plus the per-invocation optimum ("Opt" bar).
+* 2b -- mri-g-1's waiting / excess-memory / excess-ALU warp counts over
+  execution (per-epoch series), showing the two memory-pressure bursts.
+"""
+
+from typing import Dict, Optional
+
+from .common import BASELINE, RunCache, static_blocks
+
+BFS = "bfs-2"
+MRI = "mri-g-1"
+
+
+def run_fig2a(cache: Optional[RunCache] = None) -> Dict:
+    """Per-invocation times for fixed block counts plus the optimum."""
+    cache = cache or RunCache()
+    per_config = {}
+    for n in (1, 2, 3):
+        result = cache.run(BFS, static_blocks(n))
+        per_config[n] = list(result.result.invocation_ticks)
+    invocations = len(per_config[3])
+    optimal = [min(per_config[n][i] for n in per_config)
+               for i in range(invocations)]
+    optimal_choice = [min(per_config, key=lambda n: per_config[n][i])
+                      for i in range(invocations)]
+    total3 = sum(per_config[3])
+    return {
+        "per_config": per_config,
+        "optimal": optimal,
+        "optimal_choice": optimal_choice,
+        "normaliser": total3,
+        "improvement_over_best_static": 1.0 - sum(optimal) / min(
+            sum(v) for v in per_config.values()),
+    }
+
+
+def run_fig2b(cache: Optional[RunCache] = None) -> Dict:
+    """mri-g-1's counter series over one run (baseline hardware)."""
+    cache = cache or RunCache()
+    result = cache.run(MRI, BASELINE)
+    series = [{
+        "epoch": e.index,
+        "waiting": e.waiting,
+        "xmem": e.xmem,
+        "xalu": e.xalu,
+    } for e in result.result.epochs]
+    peak_xmem = max((p["xmem"] for p in series), default=0.0)
+    # Bursts: epochs where excess-memory pressure tops the waiting count
+    # scaled appetite -- the intervals the paper's Figure 2b shades.
+    bursts = [p["epoch"] for p in series if p["xmem"] > 2.0]
+    return {"series": series, "peak_xmem": peak_xmem, "bursts": bursts}
+
+
+def run(cache: Optional[RunCache] = None) -> Dict:
+    cache = cache or RunCache()
+    return {"fig2a": run_fig2a(cache), "fig2b": run_fig2b(cache)}
+
+
+def report(data: Dict) -> str:
+    a = data["fig2a"]
+    lines = ["Figure 2a: bfs-2 execution time per invocation "
+             "(fraction of the 3-block total)"]
+    norm = a["normaliser"]
+    header = "inv:  " + " ".join(f"{i:>6d}" for i in
+                                 range(len(a["optimal"])))
+    lines.append(header)
+    for n, ticks in sorted(a["per_config"].items()):
+        lines.append(f"b={n}:  " + " ".join(f"{t / norm:6.3f}"
+                                            for t in ticks))
+    lines.append("opt:  " + " ".join(f"{t / norm:6.3f}"
+                                     for t in a["optimal"]))
+    lines.append("pick: " + " ".join(f"{c:>6d}"
+                                     for c in a["optimal_choice"]))
+    lines.append(f"optimal beats best static by "
+                 f"{a['improvement_over_best_static'] * 100:.1f}%")
+    b = data["fig2b"]
+    lines.append("")
+    lines.append("Figure 2b: mri-g-1 warp-state series "
+                 "(per-epoch averages per SM)")
+    lines.append("epoch  waiting  xmem   xalu")
+    for p in b["series"]:
+        marker = "  <- burst" if p["epoch"] in b["bursts"] else ""
+        lines.append(f"{p['epoch']:>5d}  {p['waiting']:7.2f}  "
+                     f"{p['xmem']:5.2f}  {p['xalu']:5.2f}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Figure 4: the state of the warps per kernel at maximum concurrency.
+
+For each of the 27 kernels (baseline hardware, maximum threads) the
+fraction of active warp samples spent Waiting, in Excess-memory, in
+Excess-ALU, and the remainder (issued/others).  The paper uses this
+distribution to justify the four counters: compute kernels show large
+Excess-ALU, memory and cache kernels large Excess-memory plus Waiting,
+and unsaturated kernels an inclination toward one of the two.
+"""
+
+from typing import Dict, List, Optional
+
+from ..workloads import ALL_KERNELS, kernel_by_name
+from .common import RunCache
+from .report import format_table
+
+
+def run(cache: Optional[RunCache] = None,
+        kernels: Optional[List[str]] = None) -> Dict[str, Dict]:
+    cache = cache or RunCache()
+    names = kernels or [k.name for k in ALL_KERNELS]
+    data = {}
+    for name in names:
+        result = cache.baseline(name)
+        fractions = result.result.state_fractions()
+        fractions["category"] = kernel_by_name(name).category
+        data[name] = fractions
+    return data
+
+
+def report(data: Dict[str, Dict]) -> str:
+    order = {"compute": 0, "memory": 1, "cache": 2, "unsaturated": 3}
+    rows = []
+    for name, f in sorted(data.items(),
+                          key=lambda kv: (order[kv[1]["category"]],
+                                          kv[0])):
+        rows.append((name, f["category"], f"{f['waiting']:.2f}",
+                     f"{f['excess_mem']:.2f}", f"{f['excess_alu']:.2f}",
+                     f"{f['other']:.2f}"))
+    return format_table(
+        ("Kernel", "Category", "Waiting", "ExcessMem", "ExcessALU",
+         "Issued/Other"),
+        rows, title="Figure 4: state of the warps (fraction of active "
+                    "warp samples)")

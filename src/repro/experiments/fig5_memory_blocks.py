@@ -1,0 +1,55 @@
+"""Figure 5: memory-intensive kernels versus concurrent thread blocks.
+
+Performance (normalised to one block) of each memory-intensive kernel
+as the number of concurrent blocks per SM grows.  The paper's point:
+every memory kernel saturates well before its maximum concurrency, so
+shedding blocks is safe for them -- which is why Algorithm 1's
+``nMem > Wcta`` arm can pause blocks without hurting throughput.
+"""
+
+from typing import Dict, List, Optional
+
+from ..workloads import kernels_in_category
+from .common import RunCache, static_blocks
+from .report import format_table
+
+MEMORY_KERNELS = [k.name for k in kernels_in_category("memory")]
+
+
+def run(cache: Optional[RunCache] = None,
+        kernels: Optional[List[str]] = None) -> Dict[str, Dict[int, float]]:
+    cache = cache or RunCache()
+    names = kernels or MEMORY_KERNELS
+    data = {}
+    for name in names:
+        from ..workloads import kernel_by_name
+        spec = kernel_by_name(name)
+        limit = min(spec.max_blocks, cache.sim.gpu.max_blocks_per_sm,
+                    cache.sim.gpu.max_warps_per_sm // spec.wcta)
+        one_block = cache.run(name, static_blocks(1))
+        series = {1: 1.0}
+        for n in range(2, limit + 1):
+            run_ = cache.run(name, static_blocks(n))
+            series[n] = one_block.result.ticks / run_.result.ticks
+        data[name] = series
+    return data
+
+
+def saturation_point(series: Dict[int, float],
+                     tolerance: float = 0.05) -> int:
+    """Smallest block count within ``tolerance`` of the best."""
+    best = max(series.values())
+    for n in sorted(series):
+        if series[n] >= best * (1.0 - tolerance):
+            return n
+    return max(series)
+
+
+def report(data: Dict[str, Dict[int, float]]) -> str:
+    rows = []
+    for name, series in sorted(data.items()):
+        trend = " ".join(f"b{n}={v:.2f}" for n, v in sorted(series.items()))
+        rows.append((name, saturation_point(series), trend))
+    return format_table(
+        ("Kernel", "SaturatesAt", "Speedup over 1 block"),
+        rows, title="Figure 5: memory kernels vs concurrent blocks")

@@ -1,0 +1,110 @@
+"""Figure 8: Equalizer's energy mode versus static throttles.
+
+Top chart: per-kernel performance of Equalizer (energy mode), static
+SM low (-15%) and static memory low (-15%) over the baseline.  Bottom
+chart: energy savings of Equalizer versus the *static best* -- for each
+kernel, whichever static throttle saves more energy while keeping
+performance above 0.95 (the paper's P > 0.95 condition).
+
+Shape targets: compute kernels lose ~nothing and save ~5% (memory
+throttled); memory kernels save ~11% via SM throttling at <3% loss;
+cache kernels gain ~30% performance and save ~36%; overall ~15%
+savings at +5% performance versus ~8% for the static best.
+"""
+
+from typing import Dict, List, Optional
+
+from ..workloads import ALL_KERNELS, kernel_by_name
+from .common import (EQ_ENERGY, MEM_LOW, RunCache, SM_LOW, geomean)
+from .report import format_table
+
+STATIC_PERF_FLOOR = 0.95
+
+
+def run(cache: Optional[RunCache] = None,
+        kernels: Optional[List[str]] = None) -> Dict:
+    cache = cache or RunCache()
+    names = kernels or [k.name for k in ALL_KERNELS]
+    per_kernel = {}
+    for name in names:
+        base = cache.baseline(name)
+        entry = {"category": kernel_by_name(name).category}
+        for label, key in (("equalizer", EQ_ENERGY), ("sm_low", SM_LOW),
+                           ("mem_low", MEM_LOW)):
+            r = cache.run(name, key)
+            entry[label] = {
+                "performance": r.performance_vs(base),
+                "savings": r.energy_savings_vs(base),
+            }
+        # Static best: the throttle saving the most energy subject to
+        # a performance floor; falls back to the less harmful one.
+        candidates = [entry["sm_low"], entry["mem_low"]]
+        eligible = [c for c in candidates
+                    if c["performance"] >= STATIC_PERF_FLOOR]
+        pool = eligible or candidates
+        entry["static_best"] = max(pool, key=lambda c: c["savings"])
+        per_kernel[name] = entry
+    summary = {
+        "equalizer_perf_gmean": geomean(
+            [per_kernel[n]["equalizer"]["performance"]
+             for n in per_kernel]),
+        "equalizer_savings_mean": sum(
+            per_kernel[n]["equalizer"]["savings"]
+            for n in per_kernel) / len(per_kernel),
+        "static_best_savings_mean": sum(
+            per_kernel[n]["static_best"]["savings"]
+            for n in per_kernel) / len(per_kernel),
+        "sm_low_perf_gmean": geomean(
+            [per_kernel[n]["sm_low"]["performance"]
+             for n in per_kernel]),
+        "mem_low_perf_gmean": geomean(
+            [per_kernel[n]["mem_low"]["performance"]
+             for n in per_kernel]),
+    }
+    by_category: Dict[str, Dict] = {}
+    for cat in ("compute", "memory", "cache", "unsaturated"):
+        members = [n for n in per_kernel
+                   if per_kernel[n]["category"] == cat]
+        if members:
+            by_category[cat] = {
+                "perf_gmean": geomean(
+                    [per_kernel[n]["equalizer"]["performance"]
+                     for n in members]),
+                "savings_mean": sum(
+                    per_kernel[n]["equalizer"]["savings"]
+                    for n in members) / len(members),
+            }
+    return {"per_kernel": per_kernel, "summary": summary,
+            "by_category": by_category}
+
+
+def report(data: Dict) -> str:
+    order = {"compute": 0, "memory": 1, "cache": 2, "unsaturated": 3}
+    rows = []
+    for name, e in sorted(data["per_kernel"].items(),
+                          key=lambda kv: (order[kv[1]["category"]],
+                                          kv[0])):
+        rows.append((
+            name, e["category"],
+            f"{e['equalizer']['performance']:.2f}",
+            f"{e['sm_low']['performance']:.2f}",
+            f"{e['mem_low']['performance']:.2f}",
+            f"{e['equalizer']['savings'] * 100:+.1f}%",
+            f"{e['static_best']['savings'] * 100:+.1f}%"))
+    table = format_table(
+        ("Kernel", "Category", "Eq perf", "SMlow", "MemLow",
+         "Eq savings", "StaticBest"),
+        rows, title="Figure 8: energy mode")
+    s = data["summary"]
+    lines = [table, "",
+             f"GMEAN Equalizer performance: "
+             f"{s['equalizer_perf_gmean']:.3f} "
+             f"(SM low {s['sm_low_perf_gmean']:.3f}, "
+             f"mem low {s['mem_low_perf_gmean']:.3f})",
+             f"Mean savings: Equalizer "
+             f"{s['equalizer_savings_mean'] * 100:+.1f}% vs static best "
+             f"{s['static_best_savings_mean'] * 100:+.1f}%"]
+    for cat, v in data["by_category"].items():
+        lines.append(f"  {cat:12s}: perf {v['perf_gmean']:.3f}, "
+                     f"savings {v['savings_mean'] * 100:+.1f}%")
+    return "\n".join(lines)

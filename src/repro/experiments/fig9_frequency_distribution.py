@@ -1,0 +1,78 @@
+"""Figure 9: time distribution across SM and memory VF states.
+
+For every kernel and both Equalizer modes, the fraction of execution
+time spent at each operating point, split per domain: Core High / Core
+Low / Mem High / Mem Low / Normal (both domains nominal).
+
+Shape targets: compute kernels sit at core-high in performance mode and
+mem-low in energy mode; memory and cache kernels at mem-high in P and
+core-low in E; phase-alternating kernels (histo-3, mri-g-1, mri-g-2,
+sc) split their time across both domains' states.
+"""
+
+from typing import Dict, List, Optional
+
+from ..config import VF_HIGH, VF_LOW, VF_NORMAL
+from ..workloads import ALL_KERNELS, kernel_by_name
+from .common import EQ_ENERGY, EQ_PERF, RunCache
+from .report import format_table
+
+MODES = {"performance": EQ_PERF, "energy": EQ_ENERGY}
+
+
+def distribution(result) -> Dict[str, float]:
+    """Residency fractions in the paper's five reporting buckets."""
+    res = result.result.vf_residency()
+    total = sum(res.values()) or 1
+    buckets = {"core_high": 0, "core_low": 0, "mem_high": 0,
+               "mem_low": 0, "normal": 0}
+    for (sm_vf, mem_vf), ticks in res.items():
+        if sm_vf == VF_NORMAL and mem_vf == VF_NORMAL:
+            buckets["normal"] += ticks
+            continue
+        # A tick at (high, low) counts half toward each domain bucket,
+        # mirroring the paper's stacked per-domain presentation.
+        shares = []
+        if sm_vf == VF_HIGH:
+            shares.append("core_high")
+        elif sm_vf == VF_LOW:
+            shares.append("core_low")
+        if mem_vf == VF_HIGH:
+            shares.append("mem_high")
+        elif mem_vf == VF_LOW:
+            shares.append("mem_low")
+        for s in shares:
+            buckets[s] += ticks / len(shares)
+    return {k: v / total for k, v in buckets.items()}
+
+
+def run(cache: Optional[RunCache] = None,
+        kernels: Optional[List[str]] = None) -> Dict:
+    cache = cache or RunCache()
+    names = kernels or [k.name for k in ALL_KERNELS]
+    data = {}
+    for name in names:
+        entry = {"category": kernel_by_name(name).category}
+        for mode, key in MODES.items():
+            entry[mode] = distribution(cache.run(name, key))
+        data[name] = entry
+    return data
+
+
+def report(data: Dict) -> str:
+    order = {"compute": 0, "memory": 1, "cache": 2, "unsaturated": 3}
+    rows = []
+    for name, e in sorted(data.items(),
+                          key=lambda kv: (order[kv[1]["category"]],
+                                          kv[0])):
+        for mode in ("performance", "energy"):
+            d = e[mode]
+            rows.append((
+                name, e["category"], mode[0].upper(),
+                f"{d['core_high']:.2f}", f"{d['core_low']:.2f}",
+                f"{d['mem_high']:.2f}", f"{d['mem_low']:.2f}",
+                f"{d['normal']:.2f}"))
+    return format_table(
+        ("Kernel", "Category", "Mode", "CoreHigh", "CoreLow",
+         "MemHigh", "MemLow", "Normal"),
+        rows, title="Figure 9: time at each VF operating point")

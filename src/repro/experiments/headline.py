@@ -1,0 +1,68 @@
+"""The paper's headline claims (abstract / Section V-B text).
+
+* Energy mode: ~15% energy savings while *improving* performance ~5%.
+* Performance mode: ~22% speedup for ~6% extra energy.
+* Always boosting the SM: ~7% speedup for ~12% energy.
+* Always boosting memory: ~6% speedup for ~7% energy.
+* Static -15% SM / memory: ~9% / ~7% performance loss.
+"""
+
+from typing import Dict, List, Optional
+
+from ..workloads import ALL_KERNELS
+from .common import (EQ_ENERGY, EQ_PERF, MEM_HIGH, MEM_LOW, RunCache,
+                     SM_HIGH, SM_LOW, geomean)
+
+CONFIGS = {
+    "equalizer_performance": EQ_PERF,
+    "equalizer_energy": EQ_ENERGY,
+    "sm_boost": SM_HIGH,
+    "mem_boost": MEM_HIGH,
+    "sm_low": SM_LOW,
+    "mem_low": MEM_LOW,
+}
+
+#: The numbers the paper reports, for side-by-side printing.
+PAPER = {
+    "equalizer_performance": {"speedup": 1.22, "energy_delta": +0.06},
+    "equalizer_energy": {"speedup": 1.05, "energy_delta": -0.15},
+    "sm_boost": {"speedup": 1.07, "energy_delta": +0.12},
+    "mem_boost": {"speedup": 1.06, "energy_delta": +0.07},
+    "sm_low": {"speedup": 0.91, "energy_delta": None},
+    "mem_low": {"speedup": 0.93, "energy_delta": None},
+}
+
+
+def run(cache: Optional[RunCache] = None,
+        kernels: Optional[List[str]] = None) -> Dict:
+    cache = cache or RunCache()
+    names = kernels or [k.name for k in ALL_KERNELS]
+    data = {}
+    for label, key in CONFIGS.items():
+        speedups = []
+        deltas = []
+        for name in names:
+            base = cache.baseline(name)
+            r = cache.run(name, key)
+            speedups.append(r.performance_vs(base))
+            deltas.append(r.energy_increase_vs(base))
+        data[label] = {
+            "speedup": geomean(speedups),
+            "energy_delta": sum(deltas) / len(deltas),
+        }
+    return data
+
+
+def report(data: Dict) -> str:
+    lines = ["Headline numbers (geomean speedup, mean energy delta)",
+             f"{'configuration':24s} {'measured':>22s} {'paper':>22s}"]
+    for label, m in data.items():
+        p = PAPER.get(label, {})
+        paper_s = p.get("speedup")
+        paper_e = p.get("energy_delta")
+        paper_txt = (f"{paper_s:.2f}x" if paper_s else "-") + (
+            f" / {paper_e * 100:+.0f}%" if paper_e is not None else "")
+        lines.append(
+            f"{label:24s} {m['speedup']:.3f}x / "
+            f"{m['energy_delta'] * 100:+5.1f}%  {paper_txt:>20s}")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Section I's motivation: why static tuning fails.
+
+The paper argues static parameter choices are infeasible because (1)
+contention depends on the input, (2) contention depends on the GPU the
+code runs on, and (3) kernels have phases.  Phases are covered by
+Figures 2 and 11; these harnesses demonstrate the first two claims
+quantitatively:
+
+* :func:`input_dependence` -- the same cache-style kernel with a small
+  input (per-warp footprint fits the L1 even at full concurrency) and
+  a large input (thrashes).  The statically optimal block count flips
+  between the two; a static choice tuned on one input loses on the
+  other, while Equalizer lands near the per-input optimum unchanged.
+* :func:`cross_architecture` -- the same kernel on the Fermi-style
+  baseline and on a GPU with a 3x larger L1.  The thrash point moves;
+  the block count tuned for one machine is wrong on the other.
+"""
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from ..config import SimConfig
+from ..core import EqualizerController
+from ..sim import run_kernel
+from ..workloads import Phase, build_workload, kernel_by_name
+from ..baselines import StaticController
+from .common import default_sim
+from .report import format_table
+
+
+def _variants_of_kmn():
+    """Small-input and large-input variants of the kmn kernel."""
+    base = kernel_by_name("kmn")
+    small = replace(
+        base, name="kmn-small",
+        phases=tuple(replace(p, ws_lines=2) for p in base.phases))
+    large = replace(
+        base, name="kmn-large",
+        phases=tuple(replace(p, ws_lines=12) for p in base.phases))
+    return small, large
+
+
+def _sweep(spec, sim: SimConfig, scale: float = 1.0) -> Dict[int, int]:
+    """Ticks per static block count."""
+    limit = min(spec.max_blocks, sim.gpu.max_blocks_per_sm,
+                sim.gpu.max_warps_per_sm // spec.wcta)
+    out = {}
+    for blocks in range(1, limit + 1):
+        r = run_kernel(build_workload(spec, scale=scale), sim,
+                       controller=StaticController(blocks=blocks))
+        out[blocks] = r.result.ticks
+    return out
+
+
+def _best_blocks(sweep: Dict[int, int]) -> int:
+    """The block count a developer would pick from a sweep.
+
+    Among configurations within 3% of the fastest, prefer the highest
+    occupancy -- the conventional tuning rule, and exactly the rule
+    that backfires when the same binary runs on a machine with a
+    smaller cache.
+    """
+    floor = min(sweep.values()) * 1.03
+    return max(n for n, t in sweep.items() if t <= floor)
+
+
+def _equalizer_ticks(spec, sim: SimConfig, scale: float = 1.0) -> int:
+    ctrl = EqualizerController("performance", config=sim.equalizer,
+                               manage_frequency=False)
+    return run_kernel(build_workload(spec, scale=scale), sim,
+                      controller=ctrl).result.ticks
+
+
+def input_dependence(sim: Optional[SimConfig] = None,
+                     scale: float = 1.0) -> Dict:
+    sim = sim or default_sim()
+    small, large = _variants_of_kmn()
+    data = {}
+    for spec in (small, large):
+        sweep = _sweep(spec, sim, scale)
+        best = _best_blocks(sweep)
+        data[spec.name] = {
+            "sweep": sweep,
+            "best_blocks": best,
+            "equalizer_ticks": _equalizer_ticks(spec, sim, scale),
+        }
+    # Cross-apply each input's optimum to the other input.
+    for me, other in (("kmn-small", "kmn-large"),
+                      ("kmn-large", "kmn-small")):
+        wrong = data[other]["best_blocks"]
+        sweep = data[me]["sweep"]
+        wrong = min(wrong, max(sweep))
+        entry = data[me]
+        entry["mistuned_ticks"] = sweep[wrong]
+        entry["mistuned_loss"] = (sweep[wrong]
+                                  / sweep[entry["best_blocks"]]) - 1.0
+        entry["equalizer_vs_best"] = (entry["equalizer_ticks"]
+                                      / sweep[entry["best_blocks"]])
+    return data
+
+
+def cross_architecture(sim: Optional[SimConfig] = None,
+                       scale: float = 1.0) -> Dict:
+    base_sim = sim or default_sim()
+    # A hypothetical next-generation part with a 3x larger L1.
+    big_l1 = SimConfig(
+        gpu=base_sim.gpu.scaled(l1_sets=96, l1_ways=8),
+        equalizer=base_sim.equalizer, power=base_sim.power,
+        max_ticks=base_sim.max_ticks, seed=base_sim.seed)
+    spec = kernel_by_name("kmn")
+    data = {}
+    for label, machine in (("fermi", base_sim), ("big-l1", big_l1)):
+        sweep = _sweep(spec, machine, scale)
+        best = _best_blocks(sweep)
+        data[label] = {
+            "sweep": sweep,
+            "best_blocks": best,
+            "equalizer_ticks": _equalizer_ticks(spec, machine, scale),
+        }
+    for me, other in (("fermi", "big-l1"), ("big-l1", "fermi")):
+        wrong = data[other]["best_blocks"]
+        sweep = data[me]["sweep"]
+        wrong = min(wrong, max(sweep))
+        entry = data[me]
+        entry["mistuned_ticks"] = sweep[wrong]
+        entry["mistuned_loss"] = (sweep[wrong]
+                                  / sweep[entry["best_blocks"]]) - 1.0
+        entry["equalizer_vs_best"] = (entry["equalizer_ticks"]
+                                      / sweep[entry["best_blocks"]])
+    return data
+
+
+def run(sim: Optional[SimConfig] = None, scale: float = 1.0) -> Dict:
+    sim = sim or default_sim()
+    return {
+        "input_dependence": input_dependence(sim, scale),
+        "cross_architecture": cross_architecture(sim, scale),
+    }
+
+
+def report(data: Dict) -> str:
+    sections = []
+    for key, title in (
+            ("input_dependence",
+             "Motivation 1: the optimal block count depends on the "
+             "input"),
+            ("cross_architecture",
+             "Motivation 2: the optimal block count depends on the "
+             "GPU")):
+        rows = []
+        for label, e in sorted(data[key].items()):
+            sweep_txt = " ".join(f"b{n}={t}" for n, t in
+                                 sorted(e["sweep"].items()))
+            rows.append((
+                label, e["best_blocks"],
+                f"{e['mistuned_loss'] * 100:+.0f}%",
+                f"{e['equalizer_vs_best']:.2f}x",
+                sweep_txt))
+        sections.append(format_table(
+            ("Case", "BestBlocks", "Loss if mistuned",
+             "Equalizer/best", "Ticks per static blocks"),
+            rows, title=title))
+    return "\n\n".join(sections)

@@ -1,0 +1,45 @@
+"""Plain-text rendering helpers for experiment reports.
+
+The paper's figures are bar charts and scatter plots; the harnesses
+reproduce the underlying numbers and render them as aligned text tables
+(one row per kernel / series point), which is what a terminal and a
+diff tool can consume.
+"""
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if len(cell) > widths[i]:
+                widths[i] = len(cell)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{value * 100:+.1f}%" if signed else f"{value * 100:.1f}%"
+
+
+def bar(value: float, scale: float = 20.0, maximum: float = 3.0) -> str:
+    """A crude text bar for quick visual comparison."""
+    clipped = max(0.0, min(value, maximum))
+    return "#" * int(round(clipped * scale / maximum))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,80 @@
+"""Tables I-III of the paper, regenerated from the library's own data.
+
+These are configuration tables, but regenerating them from the code
+(rather than hard-coding strings) keeps the documentation honest: the
+action matrix comes from :mod:`repro.core.modes`, the benchmark table
+from :mod:`repro.workloads.suite`, and the simulation parameters from
+:class:`repro.config.GPUConfig`.
+"""
+
+from ..config import GPUConfig, VF_NAMES
+from ..core.modes import ENERGY, PERFORMANCE, comp_action, mem_action
+from ..workloads import ALL_KERNELS
+from .report import format_table
+
+
+def table1() -> str:
+    """Table I: actions on the parameters for each objective."""
+    def describe(action, blocks):
+        sm = _target_word(action.sm_target)
+        mem = _target_word(action.mem_target)
+        return sm, mem, blocks
+
+    rows = []
+    for kind, action_fn, blocks in (
+            ("Compute Intensive", comp_action, "Maximum"),
+            ("Memory Intensive", mem_action, "Maximum"),
+            ("Cache Sensitive", mem_action, "Optimal")):
+        for objective in (ENERGY, PERFORMANCE):
+            sm, mem, blk = describe(action_fn(objective), blocks)
+            rows.append((kind, objective, sm, mem, blk))
+    return format_table(
+        ("Kernel", "Objective", "SM Frequency", "DRAM Frequency",
+         "Number of threads"),
+        rows, title="Table I: actions on parameters per objective")
+
+
+def table2() -> str:
+    """Table II: the 27-kernel suite."""
+    rows = [(k.name, k.category, f"{k.app_fraction:.2f}", k.max_blocks,
+             k.wcta, k.invocations, k.total_blocks)
+            for k in ALL_KERNELS]
+    return format_table(
+        ("Kernel", "Type", "Fraction", "numBlocks", "Wcta",
+         "Invocations", "TotalBlocks"),
+        rows, title="Table II: benchmark description")
+
+
+def table3(cfg: GPUConfig = None) -> str:
+    """Table III: simulation parameters."""
+    cfg = cfg or GPUConfig()
+    rows = [
+        ("Architecture", f"Fermi ({cfg.sm_count} SMs, 32 PE/SM)"),
+        ("Max Thread Blocks:Warps",
+         f"{cfg.max_blocks_per_sm}:{cfg.max_warps_per_sm}"),
+        ("Data Cache",
+         f"{cfg.l1_sets} Sets, {cfg.l1_ways} Way, 128 B/Line"),
+        ("SM V/F Modulation",
+         f"+/-{cfg.vf_step * 100:.0f}%, on-chip regulator"),
+        ("Memory V/F Modulation", f"+/-{cfg.vf_step * 100:.0f}%"),
+    ]
+    return format_table(("Parameter", "Value"), rows,
+                        title="Table III: simulation parameters")
+
+
+def _target_word(target) -> str:
+    if target is None:
+        return "Maintain"
+    name = VF_NAMES[target]
+    return {"low": "Decrease", "normal": "Maintain",
+            "high": "Increase"}[name]
+
+
+def run():
+    """Render all three tables."""
+    return {"table1": table1(), "table2": table2(), "table3": table3()}
+
+
+def report(data=None) -> str:
+    data = data or run()
+    return "\n\n".join((data["table1"], data["table2"], data["table3"]))

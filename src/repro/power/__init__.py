@@ -1,0 +1,19 @@
+"""Analytical GPU power/energy model (GPUWattch-shaped).
+
+The model mirrors the structure the paper relies on: a large leakage
+component (41.9 W at nominal voltage), SM dynamic energy that scales
+with activity and V^2, a memory-domain component (NoC + L2 + memory
+controller) on its own VF domain, and a DRAM whose active-standby power
+rises with its frequency bin (Hynix GDDR5 trend: ~30% more standby
+current at the top bin).
+"""
+
+from .dvfs import OperatingPoint, voltage_ratio
+from .energy_model import EnergyModel, compute_energy
+
+__all__ = [
+    "OperatingPoint",
+    "voltage_ratio",
+    "EnergyModel",
+    "compute_energy",
+]

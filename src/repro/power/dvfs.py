@@ -1,0 +1,51 @@
+"""Voltage/frequency scaling relations.
+
+The paper assumes a linear change in voltage for any change in
+frequency (Section V-A1, citing [24]), three discrete operating points
+per domain at -15%/nominal/+15%, and quotes GPU voltage guardbands of
+more than 20% to justify scaling voltage together with frequency.
+"""
+
+from dataclasses import dataclass
+
+from ..config import VF_STATES, vf_ratio
+from ..errors import ConfigError
+
+
+def voltage_ratio(state: int, step: float) -> float:
+    """V/V_nominal for a VF state; linear in frequency by assumption."""
+    return vf_ratio(state, step)
+
+
+def frequency_ratio(state: int, step: float) -> float:
+    """f/f_nominal for a VF state."""
+    return vf_ratio(state, step)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A concrete (SM state, memory state) pair with derived ratios."""
+
+    sm_state: int
+    mem_state: int
+    step: float
+
+    def __post_init__(self) -> None:
+        if self.sm_state not in VF_STATES or self.mem_state not in VF_STATES:
+            raise ConfigError("invalid VF state in operating point")
+
+    @property
+    def sm_freq(self) -> float:
+        return frequency_ratio(self.sm_state, self.step)
+
+    @property
+    def sm_volt(self) -> float:
+        return voltage_ratio(self.sm_state, self.step)
+
+    @property
+    def mem_freq(self) -> float:
+        return frequency_ratio(self.mem_state, self.step)
+
+    @property
+    def mem_volt(self) -> float:
+        return voltage_ratio(self.mem_state, self.step)

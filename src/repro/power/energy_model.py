@@ -1,0 +1,105 @@
+"""Turning simulation segments into joules.
+
+A run is a sequence of :class:`~repro.sim.results.Segment` objects, each
+recording how many ticks were spent at one (SM, memory) operating point
+and how much activity (instructions, L2 transactions, DRAM
+transactions) happened there.  Energy is the sum over segments of
+
+``(static power at that point) * segment seconds
+  + activity * per-event energy * V^2``
+
+with the voltage of the owning domain.  DRAM access energy is treated
+as voltage-independent (I/O dominated), while its active-standby power
+follows the frequency bin.
+"""
+
+from typing import Dict, Iterable
+
+from ..config import GPUConfig, PowerConfig, vf_ratio
+from ..sim.results import KernelResult, RunResult, Segment
+
+_COMPONENTS = ("constant", "sm_leakage", "mem_leakage", "sm_clock",
+               "mem_clock", "dram_standby", "sm_dynamic", "mem_dynamic",
+               "dram_dynamic")
+
+
+class EnergyModel:
+    """Evaluates the analytical power model over run segments."""
+
+    def __init__(self, power: PowerConfig, gpu: GPUConfig) -> None:
+        self.power = power
+        self.gpu = gpu
+        self.tick_seconds = 1.0 / gpu.nominal_frequency_hz
+
+    # -- static (time-proportional) components -------------------------
+    def static_power_w(self, sm_vf: int, mem_vf: int) -> float:
+        """Total static power at an operating point, in watts."""
+        return sum(self.static_breakdown_w(sm_vf, mem_vf).values())
+
+    def static_breakdown_w(self, sm_vf: int, mem_vf: int
+                           ) -> Dict[str, float]:
+        p = self.power
+        step = self.gpu.vf_step
+        v_sm = vf_ratio(sm_vf, step)
+        v_mem = vf_ratio(mem_vf, step)
+        f_sm = v_sm
+        f_mem = v_mem
+        return {
+            "constant": p.constant_power_w,
+            # Leakage scales roughly linearly with supply voltage.
+            "sm_leakage": p.sm_leakage_w * v_sm,
+            "mem_leakage": p.mem_leakage_w * v_mem,
+            # Clock trees and always-on pipeline overhead: ~ f * V^2.
+            "sm_clock": p.sm_clock_power_w * f_sm * v_sm * v_sm,
+            "mem_clock": p.mem_clock_power_w * f_mem * v_mem * v_mem,
+            # DRAM active-standby current rises with the frequency bin.
+            "dram_standby": p.dram_standby_w
+            * (1.0 + p.dram_standby_slope * (f_mem - 1.0)),
+        }
+
+    # -- dynamic (activity-proportional) components --------------------
+    def dynamic_energy_j(self, seg: Segment) -> Dict[str, float]:
+        p = self.power
+        step = self.gpu.vf_step
+        v_sm = vf_ratio(seg.sm_vf, step)
+        v_mem = vf_ratio(seg.mem_vf, step)
+        return {
+            "sm_dynamic": seg.instructions * p.energy_per_instruction_j
+            * v_sm * v_sm,
+            "mem_dynamic": seg.l2_txns * p.energy_per_l2_txn_j
+            * v_mem * v_mem,
+            "dram_dynamic": seg.dram_txns * p.energy_per_dram_txn_j,
+        }
+
+    # -- whole-run evaluation -------------------------------------------
+    def evaluate(self, segments: Iterable[Segment]) -> Dict[str, float]:
+        """Total energy per component, in joules."""
+        totals = {name: 0.0 for name in _COMPONENTS}
+        for seg in segments:
+            seconds = seg.ticks * self.tick_seconds
+            for name, watts in self.static_breakdown_w(
+                    seg.sm_vf, seg.mem_vf).items():
+                totals[name] += watts * seconds
+            for name, joules in self.dynamic_energy_j(seg).items():
+                totals[name] += joules
+        return totals
+
+    def average_power_w(self, segments: Iterable[Segment]) -> float:
+        """Mean power over the run, in watts."""
+        segments = list(segments)
+        ticks = sum(s.ticks for s in segments)
+        if ticks == 0:
+            return 0.0
+        energy = sum(self.evaluate(segments).values())
+        return energy / (ticks * self.tick_seconds)
+
+
+def compute_energy(result: KernelResult, power: PowerConfig,
+                   gpu: GPUConfig) -> RunResult:
+    """Wrap a kernel result with its energy figures."""
+    model = EnergyModel(power, gpu)
+    breakdown = model.evaluate(result.segments)
+    total = sum(breakdown.values())
+    seconds = result.ticks * model.tick_seconds
+    return RunResult(result=result, seconds=seconds, energy_j=total,
+                     energy_breakdown=breakdown)

@@ -1,0 +1,148 @@
+"""Set-associative caches with true LRU replacement.
+
+Both the per-SM L1 data cache (64 sets x 4 ways x 128 B, Table III) and
+the shared L2 are instances of :class:`SetAssocCache`.  Addresses are
+already line-granular integers (the workload address models generate
+line addresses directly), so the cache indexes by ``line % sets``.
+
+Each set is a small list kept in most-recently-used-first order; with
+4-8 ways the list operations are cheap and exact LRU falls out of the
+ordering.
+"""
+
+from ..errors import ConfigError
+
+
+class SetAssocCache:
+    """An LRU set-associative cache over integer line addresses."""
+
+    __slots__ = ("sets", "ways", "_data", "hits", "misses", "fills",
+                 "evictions", "name")
+
+    def __init__(self, sets: int, ways: int, name: str = "cache") -> None:
+        if sets < 1 or ways < 1:
+            raise ConfigError("cache geometry must be positive")
+        self.sets = sets
+        self.ways = ways
+        self.name = name
+        self._data = [[] for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+
+    def access(self, line: int) -> bool:
+        """Probe for ``line``; update LRU and hit/miss statistics.
+
+        Returns True on hit.  A miss does *not* allocate; the caller is
+        expected to :meth:`fill` when the refill arrives, which is how
+        the simulated miss path behaves (allocate-on-fill).
+        """
+        st = self._data[line % self.sets]
+        try:
+            idx = st.index(line)
+        except ValueError:
+            self.misses += 1
+            return False
+        self.hits += 1
+        if idx:
+            st.insert(0, st.pop(idx))
+        return True
+
+    def probe(self, line: int) -> bool:
+        """Check residency without touching LRU state or statistics."""
+        return line in self._data[line % self.sets]
+
+    def fill(self, line: int):
+        """Insert ``line`` as MRU; return the evicted line or None.
+
+        Filling a line that is already resident only refreshes its LRU
+        position (this happens when two outstanding misses to the same
+        line race, or an L2 fill follows an L1 fill).
+        """
+        st = self._data[line % self.sets]
+        try:
+            idx = st.index(line)
+        except ValueError:
+            pass
+        else:
+            if idx:
+                st.insert(0, st.pop(idx))
+            return None
+        self.fills += 1
+        st.insert(0, line)
+        if len(st) > self.ways:
+            self.evictions += 1
+            return st.pop()
+        return None
+
+    def occupancy(self) -> int:
+        """Total lines currently resident."""
+        return sum(len(st) for st in self._data)
+
+    def flush(self) -> None:
+        """Drop all contents; statistics are preserved."""
+        for st in self._data:
+            st.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/fill/eviction counters."""
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total probes recorded (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes that hit; 0.0 when never accessed."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SetAssocCache({self.name!r}, sets={self.sets}, "
+                f"ways={self.ways}, hit_rate={self.hit_rate:.3f})")
+
+
+class VictimTagArray:
+    """A small tag-only victim buffer (used by the CCWS baseline).
+
+    CCWS detects *lost locality*: when a warp misses in L1 but hits in
+    its victim tag array, a line it recently held was evicted by other
+    warps.  Tags only, LRU, per-warp partitions are handled by the
+    caller keying on warp id.
+    """
+
+    __slots__ = ("entries", "_tags")
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ConfigError("victim tag array needs >= 1 entry")
+        self.entries = entries
+        self._tags = []
+
+    def insert(self, line: int) -> None:
+        """Record an evicted (or missed) line tag, LRU-evicting."""
+        try:
+            self._tags.remove(line)
+        except ValueError:
+            pass
+        self._tags.insert(0, line)
+        if len(self._tags) > self.entries:
+            self._tags.pop()
+
+    def hit(self, line: int) -> bool:
+        """Probe-and-refresh; True if the tag is present."""
+        try:
+            self._tags.remove(line)
+        except ValueError:
+            return False
+        self._tags.insert(0, line)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._tags)

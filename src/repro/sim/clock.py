@@ -1,0 +1,61 @@
+"""Clock domains driven by a common base tick.
+
+The simulator advances a single global tick whose wall-clock duration is
+one nominal SM cycle.  Each clock domain (SM, memory system) carries a
+rate multiplier: at the nominal operating point the multiplier is 1.0
+and the domain executes exactly one cycle per tick; at +15% it executes
+1.15 cycles per tick via a fractional accumulator (so it occasionally
+runs two cycles in one tick), and at -15% it occasionally runs none.
+
+Dynamic voltage/frequency scaling simply changes the multiplier mid-run;
+cycle counts remain exact over time because the accumulator carries the
+fraction across the change.
+"""
+
+from ..errors import ConfigError
+
+
+class ClockDomain:
+    """One frequency domain with a fractional-rate accumulator."""
+
+    __slots__ = ("name", "rate", "_acc", "cycles")
+
+    def __init__(self, name: str, rate: float = 1.0) -> None:
+        if rate <= 0.0:
+            raise ConfigError("clock rate must be positive")
+        self.name = name
+        self.rate = rate
+        self._acc = 0.0
+        #: Total cycles executed by this domain since construction.
+        self.cycles = 0
+
+    def set_rate(self, rate: float) -> None:
+        """Change the frequency multiplier; takes effect next tick."""
+        if rate <= 0.0:
+            raise ConfigError("clock rate must be positive")
+        self.rate = rate
+
+    def advance(self) -> int:
+        """Advance one base tick; return how many cycles to execute."""
+        self._acc += self.rate
+        n = int(self._acc)
+        self._acc -= n
+        self.cycles += n
+        return n
+
+    def advance_many(self, ticks: int) -> int:
+        """Advance several base ticks at once; return total cycles due.
+
+        Used by the quiescent fast-forward path: when nothing can happen
+        for a stretch of ticks the domain's cycles are accounted in bulk.
+        """
+        if ticks < 0:
+            raise ConfigError("ticks must be non-negative")
+        self._acc += self.rate * ticks
+        n = int(self._acc)
+        self._acc -= n
+        self.cycles += n
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClockDomain({self.name!r}, rate={self.rate:.3f})"

@@ -1,0 +1,44 @@
+"""Global Work Distribution Engine.
+
+The GWDE owns the pool of not-yet-launched thread blocks of the current
+kernel invocation and hands them to SMs on request (Figure 3 of the
+paper).  Equalizer's block-increase path asks the GWDE for one more
+block; its block-decrease path never returns blocks here -- it pauses
+them on the SM (Section IV-B).
+"""
+
+from collections import deque
+
+
+class GWDE:
+    """Thread-block dispenser for one kernel invocation."""
+
+    __slots__ = ("pending", "outstanding", "dispatched")
+
+    def __init__(self, block_factories) -> None:
+        #: Factories for blocks not yet assigned to any SM.
+        self.pending = deque(block_factories)
+        #: Blocks launched on some SM and not yet retired.
+        self.outstanding = 0
+        #: Total blocks handed out.
+        self.dispatched = 0
+
+    def request(self, sm_id: int):
+        """Hand one block factory to the requesting SM, or None."""
+        if not self.pending:
+            return None
+        self.outstanding += 1
+        self.dispatched += 1
+        return self.pending.popleft()
+
+    def notify_done(self) -> None:
+        """An SM retired one block."""
+        self.outstanding -= 1
+
+    @property
+    def drained(self) -> bool:
+        """True when every block has been dispatched and retired."""
+        return not self.pending and self.outstanding == 0
+
+    def __len__(self) -> int:
+        return len(self.pending)

@@ -1,0 +1,36 @@
+"""Instruction opcodes understood by the simulated SM pipeline.
+
+Warp programs are procedural generators (see ``repro.workloads``) that
+yield one operation at a time.  An operation is a ``(opcode, payload)``
+pair; the payload is ``None`` for everything except memory operations,
+where it is a tuple of cache-line addresses touched by the (coalesced or
+scattered) warp access.
+"""
+
+#: Arithmetic instruction; occupies one ALU issue slot.
+OP_ALU = 0
+#: Global load; occupies the LSU issue slot and blocks the warp until
+#: the data returns (the paper's "waiting for a dependent memory
+#: instruction").
+OP_LOAD = 1
+#: Global store; occupies the LSU issue slot but does not block.
+OP_STORE = 2
+#: Texture-path load (leuko-1): deep outstanding-request capacity, so
+#: back-pressure is invisible to the LD/ST pipeline.
+OP_TEX_LOAD = 3
+#: Block-wide barrier; the warp waits in the Others state.
+OP_BARRIER = 4
+#: End of the warp's program.
+OP_DONE = 5
+
+OPCODE_NAMES = {
+    OP_ALU: "alu",
+    OP_LOAD: "load",
+    OP_STORE: "store",
+    OP_TEX_LOAD: "tex_load",
+    OP_BARRIER: "barrier",
+    OP_DONE: "done",
+}
+
+#: Opcodes that go through the memory pipeline.
+MEMORY_OPS = frozenset((OP_LOAD, OP_STORE, OP_TEX_LOAD))

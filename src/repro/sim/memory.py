@@ -1,0 +1,158 @@
+"""The shared memory system: interconnect queue, L2, and DRAM.
+
+All stages run in the *memory* clock domain, so raising the memory VF
+state makes every stage (NoC ingress, L2 ports, the DRAM bandwidth
+server) execute proportionally more cycles per base tick -- exactly the
+knob the paper's frequency manager turns ("the operating points of the
+entire memory system which includes the interconnect between SMs and
+L2, L2, memory controller and the DRAM are changed", Section IV-C).
+
+Back-pressure chain (Section III-A): when the DRAM queue is full the L2
+stops draining the ingress queue; when the ingress queue is full the
+SMs' LSUs cannot forward misses; a blocked LSU is what parks ready
+memory warps in the Xmem state.
+"""
+
+import heapq
+from collections import deque
+
+from ..config import GPUConfig, LINE_BYTES
+from .cache import SetAssocCache
+
+#: Request kinds carried end-to-end.
+REQ_READ = 0
+REQ_WRITE = 1
+REQ_TEX = 2
+
+
+class MemorySubsystem:
+    """Shared L2 + DRAM model with finite queues and a bandwidth server."""
+
+    __slots__ = ("cfg", "cycle_count", "ingress", "l2", "dram_queue",
+                 "_dram_acc", "_responses", "_seq", "deliver",
+                 "dram_txns", "l2_txns", "writes_dropped",
+                 "peak_ingress", "peak_dram_queue")
+
+    def __init__(self, cfg: GPUConfig, deliver) -> None:
+        self.cfg = cfg
+        self.cycle_count = 0
+        #: (sm_id, line, kind) triples waiting for an L2 port.
+        self.ingress = deque()
+        self.l2 = SetAssocCache(cfg.l2_sets, cfg.l2_ways, name="L2")
+        self.dram_queue = deque()
+        self._dram_acc = 0.0
+        #: min-heap of (due_cycle, seq, sm_id, line, kind).
+        self._responses = []
+        self._seq = 0
+        #: Callback ``deliver(sm_id, line, kind)`` invoked when a read
+        #: (or texture) response reaches the requesting SM.
+        self.deliver = deliver
+        self.dram_txns = 0
+        self.l2_txns = 0
+        self.writes_dropped = 0
+        self.peak_ingress = 0
+        self.peak_dram_queue = 0
+
+    # ------------------------------------------------------------------
+    # SM-side interface
+    # ------------------------------------------------------------------
+    def can_accept(self) -> bool:
+        """True when the LSU may forward one more miss transaction."""
+        return len(self.ingress) < self.cfg.memory_ingress_depth
+
+    def submit(self, sm_id: int, line: int, kind: int) -> None:
+        """Enqueue a transaction from an SM.
+
+        Texture requests may exceed the ingress depth: the texture path
+        has deep outstanding-request capacity, so its saturation never
+        back-pressures the LD/ST pipeline (the leuko-1 effect the paper
+        describes in Section V-B).
+        """
+        self.ingress.append((sm_id, line, kind))
+        if len(self.ingress) > self.peak_ingress:
+            self.peak_ingress = len(self.ingress)
+
+    # ------------------------------------------------------------------
+    # Memory-domain cycle
+    # ------------------------------------------------------------------
+    def cycle(self) -> None:
+        """Execute one memory-domain cycle."""
+        self.cycle_count += 1
+        now = self.cycle_count
+
+        # 1. Deliver responses whose latency has elapsed.
+        resp = self._responses
+        while resp and resp[0][0] <= now:
+            _, _, sm_id, line, kind = heapq.heappop(resp)
+            if kind != REQ_WRITE:
+                self.deliver(sm_id, line, kind)
+
+        # 2. L2 ports drain the ingress queue toward the DRAM queue.
+        ingress = self.ingress
+        dram_queue = self.dram_queue
+        dram_cap = self.cfg.dram_queue_depth
+        for _ in range(self.cfg.l2_ports):
+            if not ingress:
+                break
+            sm_id, line, kind = ingress[0]
+            if self.l2.access(line):
+                ingress.popleft()
+                self.l2_txns += 1
+                if kind != REQ_WRITE:
+                    self._schedule(now + self.cfg.l2_latency, sm_id, line,
+                                   kind)
+            else:
+                if len(dram_queue) >= dram_cap:
+                    break  # head-of-line blocked on DRAM
+                ingress.popleft()
+                self.l2_txns += 1
+                dram_queue.append((sm_id, line, kind))
+                if len(dram_queue) > self.peak_dram_queue:
+                    self.peak_dram_queue = len(dram_queue)
+
+        # 3. DRAM bandwidth server.
+        acc = self._dram_acc + self.cfg.dram_bytes_per_cycle
+        while dram_queue and acc >= LINE_BYTES:
+            acc -= LINE_BYTES
+            sm_id, line, kind = dram_queue.popleft()
+            self.dram_txns += 1
+            if kind == REQ_WRITE:
+                self.writes_dropped += 1
+            else:
+                self.l2.fill(line)
+                self._schedule(now + self.cfg.dram_latency, sm_id, line,
+                               kind)
+        if not dram_queue:
+            # Idle bandwidth cannot be banked for later bursts.
+            acc = min(acc, self.cfg.dram_bytes_per_cycle)
+        self._dram_acc = acc
+
+    def _schedule(self, due: int, sm_id: int, line: int, kind: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._responses, (due, self._seq, sm_id, line, kind))
+
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """True when only in-flight responses remain (no queued work)."""
+        return not self.ingress and not self.dram_queue
+
+    def next_event_cycle(self):
+        """Memory-domain cycle of the next due response, or None."""
+        return self._responses[0][0] if self._responses else None
+
+    def skip_cycles(self, n: int) -> None:
+        """Account ``n`` cycles during which no queued work exists.
+
+        Callers guarantee :meth:`quiescent` held and that no response
+        comes due strictly inside the skipped span; the boundary cycle
+        itself is executed normally afterwards.
+        """
+        self.cycle_count += n
+
+    @property
+    def outstanding(self) -> int:
+        """Transactions anywhere in the memory system."""
+        return (len(self.ingress) + len(self.dram_queue)
+                + len(self._responses))

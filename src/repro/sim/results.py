@@ -1,0 +1,131 @@
+"""Result containers produced by a simulation run."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A stretch of ticks spent at one (SM, memory) VF operating point.
+
+    Activity counters are deltas over the segment; the power model turns
+    each segment into joules.
+    """
+
+    sm_vf: int
+    mem_vf: int
+    ticks: int
+    instructions: int
+    l2_txns: int
+    dram_txns: int
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Per-epoch aggregate of the four counters (averaged per SM)."""
+
+    index: int
+    invocation: int
+    tick: int
+    sm_cycle: int
+    active: float
+    waiting: float
+    xmem: float
+    xalu: float
+    blocks: float
+    sm_vf: int
+    mem_vf: int
+
+
+@dataclass
+class KernelResult:
+    """Everything measured over one full kernel run (all invocations)."""
+
+    kernel: str
+    ticks: int = 0
+    instructions: int = 0
+    alu_instructions: int = 0
+    mem_instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    blocks_run: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l2_txns: int = 0
+    dram_txns: int = 0
+    tot_active: int = 0
+    tot_waiting: int = 0
+    tot_xmem: int = 0
+    tot_xalu: int = 0
+    tot_samples: int = 0
+    invocation_ticks: List[int] = field(default_factory=list)
+    epochs: List[EpochRecord] = field(default_factory=list)
+    segments: List[Segment] = field(default_factory=list)
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per base tick across the whole GPU."""
+        return self.instructions / self.ticks if self.ticks else 0.0
+
+    def vf_residency(self) -> Dict[Tuple[int, int], int]:
+        """Ticks spent at each (sm_vf, mem_vf) operating point."""
+        res: Dict[Tuple[int, int], int] = {}
+        for seg in self.segments:
+            key = (seg.sm_vf, seg.mem_vf)
+            res[key] = res.get(key, 0) + seg.ticks
+        return res
+
+    def state_fractions(self) -> Dict[str, float]:
+        """Warp-state distribution over the run (Figure 4 data).
+
+        Fractions are of total *active warp samples*: Waiting, Excess
+        memory, Excess ALU, and the remainder (issued/others).
+        """
+        denom = self.tot_active or 1
+        waiting = self.tot_waiting / denom
+        xmem = self.tot_xmem / denom
+        xalu = self.tot_xalu / denom
+        other = max(0.0, 1.0 - waiting - xmem - xalu)
+        return {"waiting": waiting, "excess_mem": xmem,
+                "excess_alu": xalu, "other": other}
+
+
+@dataclass
+class RunResult:
+    """A kernel result plus the energy computed by the power model."""
+
+    result: KernelResult
+    seconds: float
+    energy_j: float
+    energy_breakdown: Dict[str, float]
+
+    @property
+    def kernel(self) -> str:
+        return self.result.kernel
+
+    @property
+    def ticks(self) -> int:
+        return self.result.ticks
+
+    def performance_vs(self, baseline: "RunResult") -> float:
+        """Speedup over a baseline run (>1 means faster)."""
+        return baseline.result.ticks / self.result.ticks
+
+    def energy_efficiency_vs(self, baseline: "RunResult") -> float:
+        """Baseline energy divided by this run's energy (>1 is better)."""
+        return baseline.energy_j / self.energy_j
+
+    def energy_increase_vs(self, baseline: "RunResult") -> float:
+        """Relative energy increase over the baseline (can be negative)."""
+        return self.energy_j / baseline.energy_j - 1.0
+
+    def energy_savings_vs(self, baseline: "RunResult") -> float:
+        """Relative energy saved versus the baseline."""
+        return 1.0 - self.energy_j / baseline.energy_j

@@ -1,0 +1,546 @@
+"""A streaming multiprocessor: scheduler, pipelines, L1, CTA pausing.
+
+The model is warp-granular and coarse but preserves every mechanism the
+Equalizer counters observe:
+
+* a dual-issue arithmetic path with a dependent-issue interval, so that
+  more ready-ALU warps than issue slots accumulate as ``Xalu``;
+* a single-issue LSU with a finite queue; misses allocate finite MSHRs
+  and forward to the shared memory system, whose back-pressure fills
+  the LSU queue and parks ready-memory warps in ``Xmem``;
+* a real set-associative L1 whose thrashing under high concurrency is
+  what makes cache-sensitive kernels fast when blocks are paused;
+* a texture path with deep outstanding-request capacity that saturates
+  bandwidth without visible LSU back-pressure (the leuko-1 effect);
+* CTA pausing and unpausing exactly as Section IV-B describes.
+"""
+
+import heapq
+from collections import deque
+
+from ..errors import SimulationError
+from .cache import SetAssocCache
+from .instruction import (OP_ALU, OP_BARRIER, OP_DONE, OP_STORE,
+                          OP_TEX_LOAD)
+from .memory import REQ_READ, REQ_TEX, REQ_WRITE
+from .warp import (W_BARRIER, W_DONE, W_READY_ALU, W_READY_MEM,
+                   W_SLEEP, W_WAITMEM, ThreadBlock, Warp)
+
+
+class MemAccess:
+    """One warp memory access travelling through the LSU and caches."""
+
+    __slots__ = ("warp", "lines", "idx", "pending", "is_write", "is_tex",
+                 "issued_all")
+
+    def __init__(self, warp, lines, is_write=False, is_tex=False):
+        self.warp = warp
+        self.lines = lines
+        self.idx = 0
+        #: Outstanding miss transactions for this access.
+        self.pending = 0
+        self.is_write = is_write
+        self.is_tex = is_tex
+        #: True once every line has been looked up in the L1.
+        self.issued_all = False
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    __slots__ = (
+        "sm_id", "cfg", "gpu", "cycle", "ready_alu", "ready_mem",
+        "_sleep", "_seq", "lsu_queue", "l1", "mshr", "tex_pending",
+        "tex_outstanding", "blocks", "paused_blocks", "target_blocks",
+        "wcta", "kernel_max_blocks", "insts_issued", "alu_issued",
+        "mem_issued", "loads_issued", "stores_issued", "blocks_run",
+        "epoch_active", "epoch_waiting", "epoch_xmem", "epoch_xalu",
+        "epoch_idle", "epoch_samples", "tot_active", "tot_waiting",
+        "tot_xmem", "tot_xalu", "tot_idle", "tot_samples",
+        "_needs_fetch", "hooks", "_lsu_busy",
+    )
+
+    def __init__(self, sm_id, cfg, gpu) -> None:
+        self.sm_id = sm_id
+        self.cfg = cfg
+        self.gpu = gpu
+        self.cycle = 0
+        self.ready_alu = deque()
+        self.ready_mem = deque()
+        self._sleep = []  # (due_cycle, seq, warp)
+        self._seq = 0
+        self.lsu_queue = deque()
+        self.l1 = SetAssocCache(cfg.l1_sets, cfg.l1_ways,
+                                name=f"L1[{sm_id}]")
+        self.mshr = {}          # line -> [MemAccess]
+        self.tex_pending = {}   # line -> [MemAccess]
+        self.tex_outstanding = 0
+        self.blocks = []
+        self.paused_blocks = []
+        self.target_blocks = cfg.max_blocks_per_sm
+        self.wcta = 1
+        self.kernel_max_blocks = cfg.max_blocks_per_sm
+        # Issue statistics.
+        self.insts_issued = 0
+        self.alu_issued = 0
+        self.mem_issued = 0
+        self.loads_issued = 0
+        self.stores_issued = 0
+        self.blocks_run = 0
+        # Per-epoch counter accumulators (Section IV-A).
+        self.epoch_active = 0
+        self.epoch_waiting = 0
+        self.epoch_xmem = 0
+        self.epoch_xalu = 0
+        self.epoch_idle = 0
+        self.epoch_samples = 0
+        # Whole-run accumulators (Figure 4).
+        self.tot_active = 0
+        self.tot_waiting = 0
+        self.tot_xmem = 0
+        self.tot_xalu = 0
+        self.tot_idle = 0
+        self.tot_samples = 0
+        #: Remaining cycles the LSU miss path is occupied.
+        self._lsu_busy = 0
+        #: Warps whose load completed while paused; fetch deferred.
+        self._needs_fetch = set()
+        #: Controller hook object or None (CCWS needs per-miss hooks).
+        self.hooks = None
+
+    # ------------------------------------------------------------------
+    # Block lifecycle
+    # ------------------------------------------------------------------
+    def prepare_kernel(self, wcta: int, kernel_max_blocks: int) -> None:
+        """Reset per-kernel-launch structure; keeps statistics."""
+        if self.blocks or self.paused_blocks:
+            raise SimulationError("prepare_kernel with resident blocks")
+        self.wcta = wcta
+        self.kernel_max_blocks = min(kernel_max_blocks,
+                                     self.cfg.max_blocks_per_sm,
+                                     self.cfg.max_warps_per_sm // wcta)
+        if self.kernel_max_blocks < 1:
+            raise SimulationError(
+                f"kernel with wcta={wcta} cannot fit a single block")
+        self.target_blocks = min(self.target_blocks, self.kernel_max_blocks)
+
+    def block_limit(self) -> int:
+        """Upper bound on concurrent blocks for the current kernel."""
+        return self.kernel_max_blocks
+
+    def set_target_blocks(self, n: int) -> None:
+        """Set the desired concurrency; pauses or unpauses blocks."""
+        n = max(1, min(n, self.kernel_max_blocks))
+        self.target_blocks = n
+        while len(self.blocks) > n:
+            self._pause_one()
+        self.ensure_blocks()
+
+    def ensure_blocks(self) -> None:
+        """Fill up to the target: unpause first, then ask the GWDE."""
+        while len(self.blocks) < self.target_blocks:
+            if self.paused_blocks:
+                self._unpause_one()
+                continue
+            factory = self.gpu.gwde.request(self.sm_id)
+            if factory is None:
+                break
+            self._launch_block(factory)
+
+    def _launch_block(self, factory) -> None:
+        block = ThreadBlock(self.gpu.next_block_id())
+        programs = factory()
+        block.warps = [Warp(i, block, p) for i, p in enumerate(programs)]
+        block.remaining = len(block.warps)
+        self.blocks.append(block)
+        self.blocks_run += 1
+        for i, warp in enumerate(block.warps):
+            self._fetch_and_dispatch(warp, 1 + 2 * i)
+
+    def _pause_one(self) -> None:
+        """Pause the most recently launched active block (CTA pausing)."""
+        if not self.blocks:
+            return
+        block = self.blocks.pop()
+        block.paused = True
+        for w in block.warps:
+            w.paused = True
+        # Eagerly pull the block's warps out of the ready queues.
+        for qname in ("ready_alu", "ready_mem"):
+            q = getattr(self, qname)
+            kept = deque()
+            for w in q:
+                if w.paused:
+                    w.block.held.append(w)
+                else:
+                    kept.append(w)
+            setattr(self, qname, kept)
+        self.paused_blocks.append(block)
+
+    def _unpause_one(self) -> None:
+        block = self.paused_blocks.pop(0)
+        block.paused = False
+        for w in block.warps:
+            w.paused = False
+        self.blocks.append(block)
+        held, block.held = block.held, []
+        for w in held:
+            if w in self._needs_fetch:
+                self._needs_fetch.discard(w)
+                self._fetch_and_dispatch(w, 1)
+            else:
+                self._enqueue_ready(w)
+
+    def _block_finished(self, block) -> None:
+        if block.paused:
+            self.paused_blocks.remove(block)
+        else:
+            self.blocks.remove(block)
+        self.gpu.gwde.notify_done()
+        self.ensure_blocks()
+
+    # ------------------------------------------------------------------
+    # Warp dispatch machinery
+    # ------------------------------------------------------------------
+    def _fetch_and_dispatch(self, warp, delay: int) -> None:
+        """Fetch the warp's next operation and schedule its readiness."""
+        op, payload = warp.program.next_op()
+        warp.head_op = op
+        warp.head_payload = payload
+        if op == OP_DONE:
+            warp.state = W_DONE
+            block = warp.block
+            block.remaining -= 1
+            if block.remaining == 0:
+                self._block_finished(block)
+            return
+        if op == OP_BARRIER:
+            block = warp.block
+            warp.state = W_BARRIER
+            block.barrier_count += 1
+            if block.barrier_count >= block.remaining:
+                block.barrier_count = 0
+                # Snapshot before releasing: a released warp may arrive
+                # at the *next* barrier during this loop and must not be
+                # released twice.
+                waiters = [w for w in block.warps if w.state == W_BARRIER]
+                for w in waiters:
+                    self._fetch_and_dispatch(w, 1)
+            return
+        warp.state = W_SLEEP
+        self._seq += 1
+        heapq.heappush(self._sleep, (self.cycle + delay, self._seq, warp))
+
+    def _enqueue_ready(self, warp) -> None:
+        if warp.head_op == OP_ALU:
+            warp.state = W_READY_ALU
+            self.ready_alu.append(warp)
+        else:
+            warp.state = W_READY_MEM
+            self.ready_mem.append(warp)
+
+    def _wake_due(self) -> None:
+        sleep = self._sleep
+        now = self.cycle
+        needs_fetch = self._needs_fetch
+        while sleep and sleep[0][0] <= now:
+            _, _, warp = heapq.heappop(sleep)
+            if warp.paused:
+                warp.block.held.append(warp)
+            elif warp in needs_fetch:
+                # An L1-hit load completed: advance past it now.
+                needs_fetch.discard(warp)
+                self._fetch_and_dispatch(warp, 0)
+            else:
+                self._enqueue_ready(warp)
+
+    # ------------------------------------------------------------------
+    # Issue stages
+    # ------------------------------------------------------------------
+    def _issue_mem(self) -> None:
+        q = self.ready_mem
+        if not q:
+            return
+        cfg = self.cfg
+        lsu_has_space = len(self.lsu_queue) < cfg.lsu_queue_depth
+        for _ in range(cfg.mem_issue_width):
+            if not q:
+                break
+            warp = q[0]
+            op = warp.head_op
+            if op == OP_TEX_LOAD:
+                if self.tex_outstanding >= cfg.texture_queue_depth:
+                    break
+                q.popleft()
+                self._issue_tex(warp)
+            else:
+                if not lsu_has_space:
+                    break
+                if self.hooks is not None:
+                    # CCWS-style prioritisation: prefer the first warp
+                    # the controller protects.  A throttled warp may
+                    # still issue when the LSU is about to run dry --
+                    # the throttle is a scheduling priority, and a hard
+                    # gate would starve low-priority warps' blocks.
+                    for _ in range(len(q)):
+                        warp = q[0]
+                        if (warp.head_op == OP_TEX_LOAD
+                                or self.hooks.can_issue_mem(self, warp)):
+                            break
+                        q.rotate(-1)
+                    else:
+                        if self.lsu_queue:
+                            break  # keep the LSU fed by protected warps
+                        warp = q[0]
+                    if warp.head_op == OP_TEX_LOAD:
+                        if self.tex_outstanding >= cfg.texture_queue_depth:
+                            break
+                        q.popleft()
+                        self._issue_tex(warp)
+                        continue
+                q.popleft()
+                lines = warp.head_payload
+                access = MemAccess(warp, lines, is_write=(op == OP_STORE))
+                self.lsu_queue.append(access)
+                lsu_has_space = len(self.lsu_queue) < cfg.lsu_queue_depth
+                self.insts_issued += 1
+                self.mem_issued += 1
+                warp.insts_issued += 1
+                if op == OP_STORE:
+                    self.stores_issued += 1
+                    self._fetch_and_dispatch(warp, 1)
+                else:
+                    self.loads_issued += 1
+                    warp.state = W_WAITMEM
+
+    def _issue_tex(self, warp) -> None:
+        """Issue a texture load: deep queue, no L1, no LSU back-pressure."""
+        lines = warp.head_payload
+        access = MemAccess(warp, lines, is_tex=True)
+        access.issued_all = True
+        self.insts_issued += 1
+        self.mem_issued += 1
+        self.loads_issued += 1
+        warp.insts_issued += 1
+        warp.state = W_WAITMEM
+        pending = self.tex_pending
+        for line in lines:
+            waiters = pending.get(line)
+            if waiters is None:
+                pending[line] = [access]
+                self.gpu.memory.submit(self.sm_id, line, REQ_TEX)
+            else:
+                waiters.append(access)
+            access.pending += 1
+            self.tex_outstanding += 1
+
+    def _issue_alu(self) -> None:
+        q = self.ready_alu
+        default_dep = self.cfg.alu_dep_latency
+        for _ in range(self.cfg.alu_issue_width):
+            if not q:
+                break
+            warp = q.popleft()
+            self.insts_issued += 1
+            self.alu_issued += 1
+            warp.insts_issued += 1
+            dep = getattr(warp.program, "dep_latency", default_dep)
+            self._fetch_and_dispatch(warp, dep)
+
+    # ------------------------------------------------------------------
+    # LSU drain and the miss path
+    # ------------------------------------------------------------------
+    def _lsu_drain(self) -> None:
+        if self._lsu_busy:
+            # A miss is still occupying the LSU's miss-handling path.
+            self._lsu_busy -= 1
+            return
+        queue = self.lsu_queue
+        if not queue:
+            return
+        access = queue[0]
+        line = access.lines[access.idx]
+        if access.is_write:
+            # Write-through, no-allocate: every store line costs one
+            # memory transaction; the warp has already moved on.
+            if not self.gpu.memory.can_accept():
+                return  # back-pressure: retry next cycle
+            self.l1.access(line)
+            self.gpu.memory.submit(self.sm_id, line, REQ_WRITE)
+            self._lsu_busy = self.cfg.l1_miss_handling_cycles - 1
+            access.idx += 1
+        elif self.l1.access(line):
+            access.idx += 1
+        else:
+            if self.hooks is not None:
+                self.hooks.on_l1_miss(self, access.warp, line)
+            waiters = self.mshr.get(line)
+            if waiters is not None:
+                waiters.append(access)
+                access.pending += 1
+                access.idx += 1
+                self._lsu_busy = self.cfg.l1_miss_handling_cycles - 1
+            elif (len(self.mshr) < self.cfg.mshr_entries
+                  and self.gpu.memory.can_accept()):
+                self.mshr[line] = [access]
+                access.pending += 1
+                access.idx += 1
+                self.gpu.memory.submit(self.sm_id, line, REQ_READ)
+                self._lsu_busy = self.cfg.l1_miss_handling_cycles - 1
+            else:
+                return  # MSHR or ingress full: stall the LSU head
+        if access.idx == len(access.lines):
+            queue.popleft()
+            access.issued_all = True
+            if not access.is_write and access.pending == 0:
+                # Pure L1 hit: data returns after the hit latency; the
+                # wake path sees the needs-fetch mark and advances the
+                # warp past the completed load.
+                warp = access.warp
+                warp.state = W_SLEEP
+                self._needs_fetch.add(warp)
+                self._seq += 1
+                heapq.heappush(
+                    self._sleep,
+                    (self.cycle + self.cfg.l1_hit_latency, self._seq, warp))
+
+    def receive_fill(self, line: int, kind: int) -> None:
+        """A read response arrived from the memory system."""
+        if kind == REQ_TEX:
+            waiters = self.tex_pending.pop(line, ())
+            for access in waiters:
+                access.pending -= 1
+                self.tex_outstanding -= 1
+                if access.pending == 0:
+                    self._complete_load(access.warp)
+            return
+        evicted = self.l1.fill(line)
+        if self.hooks is not None and evicted is not None:
+            self.hooks.on_l1_evict(self, evicted)
+        waiters = self.mshr.pop(line, ())
+        for access in waiters:
+            access.pending -= 1
+            if access.pending == 0 and access.issued_all:
+                self._complete_load(access.warp)
+
+    def _complete_load(self, warp) -> None:
+        """All lines of a warp load arrived; resume the warp."""
+        if warp.paused:
+            self._needs_fetch.add(warp)
+            warp.state = W_SLEEP
+            warp.block.held.append(warp)
+        else:
+            self._fetch_and_dispatch(warp, 1)
+
+    # ------------------------------------------------------------------
+    # Counter sampling (Section IV-A)
+    # ------------------------------------------------------------------
+    def _sample(self, times: int = 1) -> None:
+        cfg = self.cfg
+        cap_mem = (cfg.mem_issue_width
+                   if len(self.lsu_queue) < cfg.lsu_queue_depth else 0)
+        xmem = len(self.ready_mem) - cap_mem
+        if xmem < 0:
+            xmem = 0
+        xalu = len(self.ready_alu) - cfg.alu_issue_width
+        if xalu < 0:
+            xalu = 0
+        waiting = 0
+        active = 0
+        for block in self.blocks:
+            for w in block.warps:
+                st = w.state
+                if st == W_DONE:
+                    continue
+                active += 1
+                if st == W_SLEEP or st == W_WAITMEM:
+                    waiting += 1
+        idle = 0 if (self.ready_alu or self.ready_mem) else 1
+        self.epoch_active += active * times
+        self.epoch_waiting += waiting * times
+        self.epoch_xmem += xmem * times
+        self.epoch_xalu += xalu * times
+        self.epoch_idle += idle * times
+        self.epoch_samples += times
+        self.tot_active += active * times
+        self.tot_waiting += waiting * times
+        self.tot_xmem += xmem * times
+        self.tot_xalu += xalu * times
+        self.tot_idle += idle * times
+        self.tot_samples += times
+
+    def read_epoch(self):
+        """Return and reset the per-epoch counter averages.
+
+        Returns a tuple ``(active, waiting, xmem, xalu, idle)``: the
+        four hardware counters as per-sample averages plus the fraction
+        of samples at which no warp was ready to issue (used by the
+        DynCTA baseline, not by Equalizer).
+        """
+        n = self.epoch_samples
+        if n == 0:
+            result = (0.0, 0.0, 0.0, 0.0, 0.0)
+        else:
+            result = (self.epoch_active / n, self.epoch_waiting / n,
+                      self.epoch_xmem / n, self.epoch_xalu / n,
+                      self.epoch_idle / n)
+        self.epoch_active = 0
+        self.epoch_waiting = 0
+        self.epoch_xmem = 0
+        self.epoch_xalu = 0
+        self.epoch_idle = 0
+        self.epoch_samples = 0
+        return result
+
+    # ------------------------------------------------------------------
+    # Cycle execution
+    # ------------------------------------------------------------------
+    def cycle_once(self, sample_interval: int) -> None:
+        """Execute one SM cycle."""
+        self.cycle += 1
+        if self._sleep:
+            self._wake_due()
+        if self.cycle % sample_interval == 0:
+            self._sample()
+        self._issue_mem()
+        if self.ready_alu:
+            self._issue_alu()
+        if self.lsu_queue or self._lsu_busy:
+            self._lsu_drain()
+
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """True when no issue or LSU work can happen this cycle."""
+        return (not self.ready_alu and not self.ready_mem
+                and not self.lsu_queue and not self._lsu_busy)
+
+    def next_wake_cycle(self):
+        """SM cycle of the next sleeping warp's wake, or None."""
+        return self._sleep[0][0] if self._sleep else None
+
+    def skip_cycles(self, n: int, sample_interval: int) -> None:
+        """Advance ``n`` cycles during which state is provably constant."""
+        start = self.cycle
+        self.cycle += n
+        k = self.cycle // sample_interval - start // sample_interval
+        if k:
+            self._sample(times=k)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def resident_warps(self) -> int:
+        """Unretired warps across active and paused blocks."""
+        return (sum(b.remaining for b in self.blocks)
+                + sum(b.remaining for b in self.paused_blocks))
+
+    @property
+    def active_block_count(self) -> int:
+        return len(self.blocks)
+
+    def busy(self) -> bool:
+        """True while any block (active or paused) is resident."""
+        return bool(self.blocks or self.paused_blocks)

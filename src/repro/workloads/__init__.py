@@ -1,0 +1,37 @@
+"""Synthetic kernel suite standing in for Rodinia/Parboil (Table II).
+
+The paper characterises each of its 27 kernels only through the
+resource-contention signature Equalizer observes (compute, memory
+bandwidth, L1 locality, occupancy) plus a handful of narrated special
+behaviours.  This package synthesises warp instruction streams that
+reproduce those signatures on the simulator substrate.
+"""
+
+from .characterize import Characterization, characterize
+from .addresses import (SharedWorkingSetAddresses, StreamingAddresses,
+                        WorkingSetAddresses)
+from .program import Phase, WarpProgram
+from .spec import KernelSpec, SyntheticWorkload, build_workload
+from .suite import (ALL_KERNELS, CACHE_KERNELS, COMPUTE_KERNELS,
+                    MEMORY_KERNELS, UNSATURATED_KERNELS, kernel_by_name,
+                    kernels_in_category)
+
+__all__ = [
+    "Characterization",
+    "characterize",
+    "StreamingAddresses",
+    "WorkingSetAddresses",
+    "SharedWorkingSetAddresses",
+    "Phase",
+    "WarpProgram",
+    "KernelSpec",
+    "SyntheticWorkload",
+    "build_workload",
+    "ALL_KERNELS",
+    "COMPUTE_KERNELS",
+    "MEMORY_KERNELS",
+    "CACHE_KERNELS",
+    "UNSATURATED_KERNELS",
+    "kernel_by_name",
+    "kernels_in_category",
+]

@@ -1,0 +1,115 @@
+"""Characterise a workload into the paper's four categories.
+
+Section II of the paper buckets kernels as compute-intensive,
+memory-intensive, cache-sensitive, or unsaturated by how they stress
+the GPU at maximum concurrency.  This module measures a workload on
+the baseline GPU and applies the same signature logic the figures use,
+so a user who writes a new :class:`~repro.workloads.spec.KernelSpec`
+can check which regime it actually lands in (and therefore what
+Equalizer will do to it).
+
+Classification rules (thresholds mirror Algorithm 1's spirit):
+
+* DRAM utilisation >= ~70% of peak and the L1 providing little reuse
+  -> bandwidth-bound: *cache-sensitive* if shrinking concurrency to
+  one block restores L1 hits, else *memory-intensive*.
+* Otherwise, sustained excess-ALU pressure -> *compute-intensive*.
+* Otherwise -> *unsaturated*, with a compute or memory inclination.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines import StaticController
+from ..config import SimConfig
+from ..sim import run_kernel
+from .spec import KernelSpec, SyntheticWorkload, build_workload
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """Outcome of characterising one workload."""
+
+    category: str
+    inclination: str
+    dram_utilization: float
+    l1_hit_rate: float
+    l1_hit_rate_one_block: Optional[float]
+    excess_alu_fraction: float
+    excess_mem_fraction: float
+    waiting_fraction: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.category} (inclination: {self.inclination}; "
+                f"dram {self.dram_utilization:.0%}, "
+                f"l1 {self.l1_hit_rate:.0%}, "
+                f"xalu {self.excess_alu_fraction:.2f}, "
+                f"xmem {self.excess_mem_fraction:.2f})")
+
+
+#: DRAM utilisation above which a kernel counts as bandwidth-bound.
+BANDWIDTH_BOUND = 0.70
+#: Excess-memory warp fraction that marks LD/ST back-pressure.
+XMEM_PRESSURE = 0.10
+#: Excess-ALU fraction above which a kernel counts as compute-bound.
+COMPUTE_BOUND = 0.30
+#: L1 hit-rate recovery that marks a kernel cache-sensitive.
+CACHE_RECOVERY = 0.30
+
+
+def characterize(spec_or_workload, sim: Optional[SimConfig] = None,
+                 scale: float = 1.0) -> Characterization:
+    """Run a workload on the stock GPU and classify it."""
+    sim = sim or SimConfig()
+    if isinstance(spec_or_workload, KernelSpec):
+        workload = build_workload(spec_or_workload, scale=scale,
+                                  seed=sim.seed)
+        spec = spec_or_workload
+    else:
+        workload = spec_or_workload
+        spec = workload.spec
+    base = run_kernel(workload, sim)
+    r = base.result
+    states = r.state_fractions()
+    peak = sim.gpu.dram_bytes_per_cycle / 128.0
+    dram_util = (r.dram_txns / r.ticks) / peak if r.ticks else 0.0
+
+    l1_one = None
+    pressured = (dram_util >= BANDWIDTH_BOUND
+                 or states["excess_mem"] >= XMEM_PRESSURE)
+    if pressured:
+        # Memory-system bound (saturated DRAM or visible LD/ST
+        # back-pressure): distinguish cache thrash from streaming by
+        # rerunning at one block per SM.
+        rerun = run_kernel(
+            _rebuild(spec, workload, sim, scale), sim,
+            controller=StaticController(blocks=1))
+        l1_one = rerun.result.l1_hit_rate
+        if l1_one - r.l1_hit_rate >= CACHE_RECOVERY:
+            category = "cache"
+        else:
+            category = "memory"
+    elif states["excess_alu"] >= COMPUTE_BOUND:
+        category = "compute"
+    else:
+        category = "unsaturated"
+
+    inclination = ("compute" if states["excess_alu"]
+                   > states["excess_mem"] else "memory")
+    return Characterization(
+        category=category,
+        inclination=inclination,
+        dram_utilization=dram_util,
+        l1_hit_rate=r.l1_hit_rate,
+        l1_hit_rate_one_block=l1_one,
+        excess_alu_fraction=states["excess_alu"],
+        excess_mem_fraction=states["excess_mem"],
+        waiting_fraction=states["waiting"],
+    )
+
+
+def _rebuild(spec, workload, sim, scale):
+    """A fresh workload instance (programs are stateful iterators)."""
+    if isinstance(workload, SyntheticWorkload):
+        return SyntheticWorkload(workload.spec, seed=workload.seed)
+    return build_workload(spec, scale=scale, seed=sim.seed)

@@ -1,0 +1,143 @@
+"""Procedural warp programs.
+
+A warp program is a tiny state machine the SM pulls one operation at a
+time.  Its shape is the canonical GPGPU inner loop: a run of dependent
+ALU instructions, then one (coalesced or scattered) memory access, with
+an optional block barrier every few iterations.  Phases let a single
+kernel change personality mid-execution (the paper's Figure 2b and
+Figure 11b behaviours).
+"""
+
+from dataclasses import dataclass
+from random import Random
+from typing import Tuple
+
+from ..errors import WorkloadError
+from ..sim.instruction import (OP_ALU, OP_BARRIER, OP_DONE, OP_LOAD,
+                               OP_STORE, OP_TEX_LOAD)
+from .addresses import make_address_model
+
+_ALU = (OP_ALU, None)
+_BARRIER = (OP_BARRIER, None)
+_DONE = (OP_DONE, None)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One personality stretch of a kernel's inner loop."""
+
+    #: Fraction of the warp's iterations spent in this phase.
+    fraction: float = 1.0
+    #: Mean ALU instructions between memory accesses.
+    alu_per_mem: int = 4
+    #: Memory transactions (cache lines) per warp access.
+    txns: int = 1
+    #: Private working-set size in lines; 0 means streaming.
+    ws_lines: int = 0
+    #: Share the working set across the block instead of per warp.
+    shared_ws: bool = False
+    #: Probability that a memory access is a store.
+    store_fraction: float = 0.0
+    #: Route loads through the deep texture path (leuko-1).
+    texture: bool = False
+    #: Uniform jitter (+/-) applied to alu_per_mem each iteration.
+    alu_jitter: int = 0
+    #: Fraction of working-set accesses replaced by streaming accesses
+    #: (only meaningful when ws_lines > 0).
+    stream_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise WorkloadError("phase fraction must lie in (0, 1]")
+        if self.alu_per_mem < 0:
+            raise WorkloadError("alu_per_mem must be >= 0")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise WorkloadError("store_fraction must lie in [0, 1]")
+        if self.alu_jitter < 0 or self.alu_jitter > self.alu_per_mem:
+            raise WorkloadError("alu_jitter must lie in [0, alu_per_mem]")
+        if not 0.0 <= self.stream_fraction <= 1.0:
+            raise WorkloadError("stream_fraction must lie in [0, 1]")
+
+
+class WarpProgram:
+    """Instruction stream of one warp."""
+
+    __slots__ = ("_phases", "_iters", "_models", "_phase_idx", "_i",
+                 "_phase_end", "_j", "_emit_mem", "_pending_barrier",
+                 "_barrier_interval", "_rng", "_model", "_phase",
+                 "total_iterations", "dep_latency")
+
+    def __init__(self, phases: Tuple[Phase, ...], iterations: int,
+                 block_uid: int, warp_idx: int, seed: int,
+                 barrier_interval: int = 0, dep_latency: int = 6) -> None:
+        if iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        if not phases:
+            raise WorkloadError("a program needs at least one phase")
+        if dep_latency < 1:
+            raise WorkloadError("dep_latency must be >= 1")
+        #: Cycles before a dependent instruction can issue after an ALU
+        #: instruction -- a property of the code's dependence chains.
+        self.dep_latency = dep_latency
+        self._phases = phases
+        self.total_iterations = iterations
+        self._barrier_interval = barrier_interval
+        self._rng = Random(seed)
+        self._models = [make_address_model(p, block_uid, warp_idx)
+                        for p in phases]
+        # Phase boundaries in absolute iteration numbers.
+        bounds = []
+        acc = 0.0
+        for p in phases[:-1]:
+            acc += p.fraction
+            bounds.append(int(acc * iterations))
+        bounds.append(iterations)
+        self._iters = bounds
+        self._phase_idx = 0
+        self._phase = phases[0]
+        self._model = self._models[0]
+        self._phase_end = bounds[0]
+        self._i = 0
+        self._j = 0
+        self._emit_mem = False
+        self._pending_barrier = False
+
+    def next_op(self):
+        """Return the warp's next ``(opcode, payload)`` operation."""
+        if self._j > 0:
+            self._j -= 1
+            return _ALU
+        if self._emit_mem:
+            self._emit_mem = False
+            phase = self._phase
+            if phase.store_fraction and (
+                    self._rng.random() < phase.store_fraction):
+                op = OP_STORE
+            elif phase.texture:
+                op = OP_TEX_LOAD
+            else:
+                op = OP_LOAD
+            return (op, self._model.next())
+        if self._pending_barrier:
+            self._pending_barrier = False
+            return _BARRIER
+        # Start the next iteration (possibly in the next phase).
+        i = self._i
+        if i >= self.total_iterations:
+            return _DONE
+        while i >= self._phase_end:
+            self._phase_idx += 1
+            self._phase = self._phases[self._phase_idx]
+            self._model = self._models[self._phase_idx]
+            self._phase_end = self._iters[self._phase_idx]
+        self._i = i + 1
+        phase = self._phase
+        alu = phase.alu_per_mem
+        if phase.alu_jitter:
+            alu += self._rng.randint(-phase.alu_jitter, phase.alu_jitter)
+        self._j = alu
+        self._emit_mem = True
+        if self._barrier_interval and (
+                self._i % self._barrier_interval == 0):
+            self._pending_barrier = True
+        return self.next_op()

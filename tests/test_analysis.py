@@ -1,0 +1,92 @@
+"""Tests for the analysis/export utilities."""
+
+import csv
+import json
+
+import pytest
+
+from repro import analysis
+from repro.sim.gpu import run_kernel
+from repro.workloads import build_workload
+
+from helpers import compute_spec, tiny_sim
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_kernel(build_workload(compute_spec(), seed=1), tiny_sim())
+
+
+class TestSummarize:
+    def test_fields(self, run):
+        s = analysis.summarize(run)
+        assert s["kernel"] == "t-compute"
+        assert s["ticks"] == run.result.ticks
+        assert s["avg_power_w"] > 0
+        assert 0 <= s["l1_hit_rate"] <= 1
+        assert sum(s["state_fractions"].values()) == pytest.approx(1.0)
+
+    def test_residency_fractions_sum_to_one(self, run):
+        s = analysis.summarize(run)
+        assert sum(s["vf_residency"].values()) == pytest.approx(1.0)
+
+    def test_json_serialisable(self, run):
+        json.dumps(analysis.summarize(run))
+
+
+class TestCompare:
+    def test_relative_metrics(self, run):
+        out = analysis.compare({"baseline": run, "same": run})
+        assert out["same"]["speedup"] == pytest.approx(1.0)
+        assert out["same"]["energy_delta"] == pytest.approx(0.0)
+
+    def test_missing_baseline_rejected(self, run):
+        with pytest.raises(KeyError):
+            analysis.compare({"a": run}, baseline="b")
+
+
+class TestTimeline:
+    def test_rows_aligned(self, run):
+        text = analysis.timeline(run)
+        lines = text.splitlines()
+        assert len(lines) == 6
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_width_limits_columns(self, run):
+        text = analysis.timeline(run, width=3)
+        first = text.splitlines()[0]
+        assert len(first) <= len("sm vf : ") + 3
+
+    def test_empty_epochs(self):
+        from repro.sim.results import KernelResult, RunResult
+        empty = RunResult(KernelResult(kernel="x"), 0.0, 0.0, {})
+        assert "no epochs" in analysis.timeline(empty)
+
+
+class TestExport:
+    def test_to_json_roundtrip(self, run):
+        data = analysis.to_json(run)
+        blob = json.dumps(data)
+        back = json.loads(blob)
+        assert back["ticks"] == run.result.ticks
+        assert len(back["epochs"]) == len(run.result.epochs)
+        assert len(back["segments"]) == len(run.result.segments)
+
+    def test_to_json_without_epochs(self, run):
+        data = analysis.to_json(run, include_epochs=False)
+        assert "epochs" not in data
+
+    def test_save_json(self, run, tmp_path):
+        path = tmp_path / "run.json"
+        analysis.save_json(run, str(path))
+        with open(path) as f:
+            assert json.load(f)["kernel"] == "t-compute"
+
+    def test_export_epochs_csv(self, run, tmp_path):
+        path = tmp_path / "epochs.csv"
+        analysis.export_epochs_csv([run], str(path))
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0][0] == "kernel"
+        assert len(rows) == 1 + len(run.result.epochs)

@@ -1,0 +1,114 @@
+"""Tests for the comparator controllers: static, DynCTA, CCWS."""
+
+import pytest
+
+from repro.baselines import (CCWSController, DynCTAController,
+                             StaticController)
+from repro.config import VF_HIGH, VF_LOW, VF_NORMAL
+from repro.errors import ConfigError
+from repro.sim.gpu import run_kernel
+from repro.workloads import build_workload
+
+from helpers import cache_spec, compute_spec, memory_spec, tiny_sim
+
+
+def run_with(spec, controller, seed=1):
+    return run_kernel(build_workload(spec, seed=seed), tiny_sim(),
+                      controller=controller)
+
+
+class TestStaticController:
+    def test_pins_operating_point(self):
+        r = run_with(compute_spec(), StaticController(sm_vf=VF_HIGH,
+                                                      mem_vf=VF_LOW))
+        assert set(r.result.vf_residency()) == {(VF_HIGH, VF_LOW)}
+
+    def test_pins_block_count(self):
+        spec = cache_spec()
+        r = run_with(spec, StaticController(blocks=2))
+        for e in r.result.epochs:
+            assert e.blocks <= 2 + 1e-9
+
+    def test_mode_label(self):
+        c = StaticController(sm_vf=VF_HIGH, blocks=3)
+        assert "sm=+1" in c.mode and "blocks=3" in c.mode
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigError):
+            StaticController(sm_vf=7)
+        with pytest.raises(ConfigError):
+            StaticController(blocks=0)
+
+
+class TestDynCTA:
+    def test_reduces_blocks_on_cache_thrash(self):
+        spec = cache_spec(total_blocks=24, iterations=60)
+        ctrl = DynCTAController()
+        r = run_with(spec, ctrl)
+        reductions = [d for d in ctrl.decisions if d[2] < 0]
+        assert reductions
+        assert min(e.blocks for e in r.result.epochs) < spec.max_blocks
+
+    def test_mostly_leaves_compute_kernels_alone(self):
+        spec = compute_spec(total_blocks=16, iterations=20, wcta=8,
+                            max_blocks=4, dep_latency=2)
+        ctrl = DynCTAController()
+        run_with(spec, ctrl)
+        cuts = sum(1 for d in ctrl.decisions if d[2] < 0)
+        assert cuts <= 0.2 * max(len(ctrl.decisions), 1)
+
+    def test_never_touches_frequency(self):
+        spec = memory_spec(total_blocks=16, iterations=25)
+        r = run_with(spec, DynCTAController())
+        assert set(r.result.vf_residency()) == {(VF_NORMAL, VF_NORMAL)}
+
+    def test_validates_thresholds(self):
+        with pytest.raises(ConfigError):
+            DynCTAController(idle_threshold=2.0)
+        with pytest.raises(ConfigError):
+            DynCTAController(waiting_threshold=-0.1)
+        with pytest.raises(ConfigError):
+            DynCTAController(hysteresis=0)
+
+
+class TestCCWS:
+    def test_improves_cache_kernel(self):
+        spec = cache_spec(total_blocks=24, iterations=60)
+        base = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        tuned = run_with(spec, CCWSController())
+        assert tuned.performance_vs(base) > 1.02
+        assert tuned.result.l1_hit_rate > base.result.l1_hit_rate
+
+    def test_harmless_on_compute_kernel(self):
+        spec = compute_spec(total_blocks=16, iterations=20)
+        base = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        tuned = run_with(spec, CCWSController())
+        assert tuned.performance_vs(base) > 0.95
+
+    def test_scores_accumulate_on_lost_locality(self):
+        spec = cache_spec(total_blocks=24, iterations=60)
+        ctrl = CCWSController()
+        run_with(spec, ctrl)
+        # During the run scores existed on at least one SM (they decay
+        # to nothing only after warps retire).
+        assert ctrl.score_gain > 0  # sanity on config plumbing
+
+    def test_throttle_set_respects_min_warps(self):
+        spec = cache_spec(total_blocks=24, iterations=60)
+        ctrl = CCWSController(min_warps=6)
+        run_with(spec, ctrl)
+        for allowed in ctrl._allowed:
+            if allowed is not None:
+                assert len(allowed) >= 6
+
+    def test_validates_parameters(self):
+        with pytest.raises(ConfigError):
+            CCWSController(vta_entries=0)
+        with pytest.raises(ConfigError):
+            CCWSController(score_decay=1.0)
+        with pytest.raises(ConfigError):
+            CCWSController(score_per_warp=0)
+        with pytest.raises(ConfigError):
+            CCWSController(min_warps=0)
+        with pytest.raises(ConfigError):
+            CCWSController(score_gain=-1)

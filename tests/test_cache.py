@@ -1,0 +1,147 @@
+"""Unit tests for the set-associative cache and victim tag array."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cache import SetAssocCache, VictimTagArray
+
+
+class TestSetAssocCache:
+    def test_miss_then_fill_then_hit(self):
+        c = SetAssocCache(4, 2)
+        assert not c.access(0)
+        c.fill(0)
+        assert c.access(0)
+        assert c.hits == 1
+        assert c.misses == 1
+
+    def test_miss_does_not_allocate(self):
+        c = SetAssocCache(4, 2)
+        c.access(5)
+        assert not c.probe(5)
+
+    def test_lru_eviction_order(self):
+        c = SetAssocCache(1, 2)
+        c.fill(0)
+        c.fill(1)
+        evicted = c.fill(2)  # evicts 0 (LRU)
+        assert evicted == 0
+        assert c.probe(1) and c.probe(2)
+
+    def test_access_refreshes_lru(self):
+        c = SetAssocCache(1, 2)
+        c.fill(0)
+        c.fill(1)
+        c.access(0)            # 0 becomes MRU
+        evicted = c.fill(2)
+        assert evicted == 1
+
+    def test_fill_resident_refreshes_without_duplicate(self):
+        c = SetAssocCache(1, 2)
+        c.fill(0)
+        c.fill(1)
+        assert c.fill(0) is None   # refresh, no eviction
+        assert c.occupancy() == 2
+        assert c.fill(2) == 1      # 1 was LRU after the refresh
+
+    def test_set_mapping(self):
+        c = SetAssocCache(4, 1)
+        c.fill(0)
+        c.fill(4)  # same set (4 % 4 == 0): evicts 0
+        assert not c.probe(0)
+        c.fill(1)  # different set
+        assert c.probe(1) and c.probe(4)
+
+    def test_occupancy_bounded(self):
+        c = SetAssocCache(4, 2)
+        for line in range(100):
+            c.fill(line)
+        assert c.occupancy() <= 8
+
+    def test_hit_rate(self):
+        c = SetAssocCache(4, 2)
+        assert c.hit_rate == 0.0
+        c.fill(0)
+        c.access(0)
+        c.access(1)
+        assert c.hit_rate == pytest.approx(0.5)
+        assert c.accesses == 2
+
+    def test_flush_keeps_stats(self):
+        c = SetAssocCache(4, 2)
+        c.fill(0)
+        c.access(0)
+        c.flush()
+        assert c.occupancy() == 0
+        assert c.hits == 1
+        c.reset_stats()
+        assert c.hits == 0 and c.misses == 0
+
+    def test_probe_does_not_touch_stats_or_lru(self):
+        c = SetAssocCache(1, 2)
+        c.fill(0)
+        c.fill(1)
+        c.probe(0)
+        assert c.hits == 0 and c.misses == 0
+        assert c.fill(2) == 0  # 0 still LRU despite the probe
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache(0, 2)
+        with pytest.raises(ConfigError):
+            SetAssocCache(4, 0)
+
+    def test_cyclic_thrash_has_zero_hits(self):
+        # Cyclic LRU worst case: footprint one larger than capacity.
+        c = SetAssocCache(1, 4)
+        lines = list(range(5))
+        for _ in range(4):
+            for line in lines:
+                if not c.access(line):
+                    c.fill(line)
+        assert c.hits == 0
+
+    def test_fitting_footprint_all_hits_after_warmup(self):
+        c = SetAssocCache(1, 4)
+        lines = list(range(4))
+        for line in lines:
+            c.access(line)
+            c.fill(line)
+        for _ in range(3):
+            for line in lines:
+                assert c.access(line)
+
+
+class TestVictimTagArray:
+    def test_insert_and_hit(self):
+        v = VictimTagArray(2)
+        v.insert(10)
+        assert v.hit(10)
+        assert not v.hit(11)
+
+    def test_lru_eviction(self):
+        v = VictimTagArray(2)
+        v.insert(1)
+        v.insert(2)
+        v.insert(3)  # evicts 1
+        assert not v.hit(1)
+        assert v.hit(2) and v.hit(3)
+
+    def test_hit_refreshes(self):
+        v = VictimTagArray(2)
+        v.insert(1)
+        v.insert(2)
+        v.hit(1)       # 1 becomes MRU
+        v.insert(3)    # evicts 2
+        assert not v.hit(2)
+        assert v.hit(1)
+
+    def test_duplicate_insert_no_growth(self):
+        v = VictimTagArray(3)
+        v.insert(1)
+        v.insert(1)
+        assert len(v) == 1
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            VictimTagArray(0)

@@ -1,0 +1,52 @@
+"""Tests for the kernel characterisation utility."""
+
+import pytest
+
+from repro.workloads import build_workload, characterize, kernel_by_name
+from repro.workloads.characterize import Characterization
+
+from helpers import cache_spec, compute_spec, memory_spec, tiny_sim
+
+
+class TestCharacterize:
+    def test_compute_spec_classified(self):
+        c = characterize(compute_spec(total_blocks=16, iterations=20,
+                                      wcta=8, max_blocks=4,
+                                      dep_latency=2), tiny_sim())
+        assert c.category == "compute"
+        assert c.inclination == "compute"
+        assert c.dram_utilization < 0.5
+
+    def test_memory_spec_classified(self):
+        c = characterize(memory_spec(total_blocks=24, iterations=30),
+                         tiny_sim())
+        assert c.category == "memory"
+        assert c.l1_hit_rate_one_block is not None
+
+    def test_cache_spec_classified(self):
+        c = characterize(cache_spec(total_blocks=24, iterations=60),
+                         tiny_sim())
+        assert c.category == "cache"
+        assert c.l1_hit_rate_one_block > c.l1_hit_rate + 0.3
+
+    def test_accepts_prebuilt_workload(self):
+        wl = build_workload(compute_spec(), seed=3)
+        c = characterize(wl, tiny_sim())
+        assert isinstance(c, Characterization)
+
+    def test_str_is_informative(self):
+        c = characterize(compute_spec(), tiny_sim())
+        text = str(c)
+        assert "compute" in text and "dram" in text
+
+    @pytest.mark.parametrize("name,expected", [
+        ("cutcp", "compute"),
+        ("cfd-1", "memory"),
+        ("kmn", "cache"),
+    ])
+    def test_suite_kernels_match_their_category(self, name, expected):
+        from repro.config import SimConfig
+        from repro.experiments.common import EXPERIMENT_EQUALIZER_CONFIG
+        sim = SimConfig(equalizer=EXPERIMENT_EQUALIZER_CONFIG)
+        c = characterize(kernel_by_name(name), sim, scale=0.3)
+        assert c.category == expected

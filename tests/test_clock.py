@@ -1,0 +1,69 @@
+"""Unit tests for the fractional-rate clock domains."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.clock import ClockDomain
+
+
+class TestClockDomain:
+    def test_nominal_rate_one_cycle_per_tick(self):
+        clk = ClockDomain("sm")
+        for _ in range(100):
+            assert clk.advance() == 1
+        assert clk.cycles == 100
+
+    def test_boost_rate_accumulates_extra_cycles(self):
+        clk = ClockDomain("sm", rate=1.15)
+        total = sum(clk.advance() for _ in range(100))
+        assert total == 114 or total == 115
+        assert clk.cycles == total
+
+    def test_low_rate_skips_cycles(self):
+        clk = ClockDomain("mem", rate=0.85)
+        total = sum(clk.advance() for _ in range(100))
+        assert total in (84, 85)
+
+    def test_long_run_exactness(self):
+        clk = ClockDomain("sm", rate=1.15)
+        total = sum(clk.advance() for _ in range(10000))
+        assert abs(total - 11500) <= 1
+
+    def test_rate_change_midway(self):
+        clk = ClockDomain("sm")
+        for _ in range(50):
+            clk.advance()
+        clk.set_rate(0.85)
+        more = sum(clk.advance() for _ in range(100))
+        assert 84 <= more <= 86
+        assert clk.cycles == 50 + more
+
+    def test_advance_many_matches_single_steps(self):
+        a = ClockDomain("x", rate=1.15)
+        b = ClockDomain("y", rate=1.15)
+        singles = sum(a.advance() for _ in range(137))
+        bulk = b.advance_many(137)
+        assert abs(singles - bulk) <= 1
+
+    def test_advance_many_zero(self):
+        clk = ClockDomain("x", rate=0.85)
+        assert clk.advance_many(0) == 0
+
+    def test_advance_many_rejects_negative(self):
+        clk = ClockDomain("x")
+        with pytest.raises(ConfigError):
+            clk.advance_many(-1)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigError):
+            ClockDomain("x", rate=0.0)
+        clk = ClockDomain("x")
+        with pytest.raises(ConfigError):
+            clk.set_rate(-1.0)
+
+    def test_mixed_bulk_and_single(self):
+        clk = ClockDomain("x", rate=1.15)
+        total = clk.advance_many(40)
+        total += sum(clk.advance() for _ in range(23))
+        total += clk.advance_many(37)
+        assert abs(total - int(1.15 * 100)) <= 1

@@ -1,0 +1,119 @@
+"""Unit tests for configuration objects and VF state helpers."""
+
+import pytest
+
+from repro.config import (EqualizerConfig, GPUConfig, LINE_BYTES,
+                          PowerConfig, SimConfig, VF_HIGH, VF_LOW,
+                          VF_NAMES, VF_NORMAL, VF_STATES, vf_ratio)
+from repro.errors import ConfigError
+
+
+class TestGPUConfig:
+    def test_defaults_match_table3(self):
+        cfg = GPUConfig()
+        assert cfg.sm_count == 15
+        assert cfg.max_blocks_per_sm == 8
+        assert cfg.max_warps_per_sm == 48
+        assert cfg.l1_sets == 64
+        assert cfg.l1_ways == 4
+        assert cfg.vf_step == pytest.approx(0.15)
+
+    def test_l1_geometry_derived(self):
+        cfg = GPUConfig()
+        assert cfg.l1_lines == 256
+        assert cfg.l1_bytes == 256 * LINE_BYTES == 32768
+
+    def test_scaled_returns_modified_copy(self):
+        cfg = GPUConfig()
+        small = cfg.scaled(sm_count=2)
+        assert small.sm_count == 2
+        assert cfg.sm_count == 15
+        assert small.l1_sets == cfg.l1_sets
+
+    @pytest.mark.parametrize("field,value", [
+        ("sm_count", 0),
+        ("max_blocks_per_sm", 0),
+        ("max_warps_per_sm", -1),
+        ("alu_issue_width", 0),
+        ("mem_issue_width", 0),
+        ("l1_sets", 0),
+        ("l1_ways", 0),
+        ("l2_sets", 0),
+        ("l2_ways", -2),
+        ("dram_bytes_per_cycle", 0.0),
+        ("vf_step", 0.0),
+        ("vf_step", 1.0),
+    ])
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ConfigError):
+            GPUConfig(**{field: value})
+
+
+class TestEqualizerConfig:
+    def test_paper_defaults(self):
+        cfg = EqualizerConfig()
+        assert cfg.sample_interval == 128
+        assert cfg.epoch_cycles == 4096
+        assert cfg.samples_per_epoch == 32
+        assert cfg.block_hysteresis == 3
+        assert cfg.xmem_saturation_threshold == pytest.approx(2.0)
+
+    def test_epoch_must_be_multiple_of_interval(self):
+        with pytest.raises(ConfigError):
+            EqualizerConfig(sample_interval=100, epoch_cycles=4096)
+
+    def test_epoch_must_cover_interval(self):
+        with pytest.raises(ConfigError):
+            EqualizerConfig(sample_interval=256, epoch_cycles=128)
+
+    def test_interval_positive(self):
+        with pytest.raises(ConfigError):
+            EqualizerConfig(sample_interval=0)
+
+    def test_hysteresis_positive(self):
+        with pytest.raises(ConfigError):
+            EqualizerConfig(block_hysteresis=0)
+
+
+class TestPowerConfig:
+    def test_baseline_leakage_matches_paper(self):
+        cfg = PowerConfig()
+        assert cfg.baseline_leakage_w == pytest.approx(41.9)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ConfigError):
+            PowerConfig(sm_leakage_w=-1.0)
+
+    def test_rejects_negative_event_energy(self):
+        with pytest.raises(ConfigError):
+            PowerConfig(energy_per_dram_txn_j=-1e-9)
+
+
+class TestSimConfig:
+    def test_defaults_compose(self):
+        sim = SimConfig()
+        assert sim.gpu.sm_count == 15
+        assert sim.equalizer.epoch_cycles == 4096
+        assert sim.max_ticks > 0
+
+    def test_max_ticks_positive(self):
+        with pytest.raises(ConfigError):
+            SimConfig(max_ticks=0)
+
+
+class TestVFStates:
+    def test_three_states(self):
+        assert VF_STATES == (VF_LOW, VF_NORMAL, VF_HIGH)
+        assert set(VF_NAMES) == set(VF_STATES)
+
+    @pytest.mark.parametrize("state,expected", [
+        (VF_LOW, 0.85), (VF_NORMAL, 1.0), (VF_HIGH, 1.15)])
+    def test_ratio_at_15_percent(self, state, expected):
+        assert vf_ratio(state, 0.15) == pytest.approx(expected)
+
+    def test_ratio_rejects_bad_state(self):
+        with pytest.raises(ConfigError):
+            vf_ratio(2, 0.15)
+
+    def test_ratio_uses_step(self):
+        assert vf_ratio(VF_HIGH, 0.10) == pytest.approx(1.10)

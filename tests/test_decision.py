@@ -1,0 +1,110 @@
+"""Truth-table tests for Algorithm 1 (repro.core.decision)."""
+
+import pytest
+
+from repro.core.decision import Decision, Tendency, decide
+
+
+class TestDefinitelyMemory:
+    def test_xmem_above_wcta_sheds_block(self):
+        d = decide(n_active=48, n_waiting=30, n_mem=17, n_alu=0, wcta=16)
+        assert d.tendency == Tendency.MEMORY_HEAVY
+        assert d.block_delta == -1
+        assert d.mem_action and not d.comp_action
+
+    def test_exactly_wcta_is_not_heavy(self):
+        d = decide(48, 30, 16.0, 0, wcta=16)
+        assert d.tendency != Tendency.MEMORY_HEAVY
+
+    def test_memory_heavy_takes_priority_over_compute(self):
+        d = decide(48, 10, 17, 20, wcta=16)
+        assert d.tendency == Tendency.MEMORY_HEAVY
+
+
+class TestDefinitelyCompute:
+    def test_xalu_above_wcta(self):
+        d = decide(48, 12, 0.1, 30, wcta=8)
+        assert d.tendency == Tendency.COMPUTE
+        assert d.block_delta == 0
+        assert d.comp_action and not d.mem_action
+
+    def test_exactly_wcta_is_not_compute(self):
+        d = decide(48, 30, 0, 8.0, wcta=8)
+        assert d.tendency != Tendency.COMPUTE
+
+
+class TestLikelyMemory:
+    def test_xmem_above_saturation_threshold(self):
+        d = decide(48, 20, 5, 1, wcta=16)
+        assert d.tendency == Tendency.MEMORY
+        assert d.block_delta == 0
+        assert d.mem_action
+
+    def test_threshold_is_configurable(self):
+        d = decide(48, 20, 3, 0, wcta=16, xmem_saturation=4.0)
+        assert d.tendency != Tendency.MEMORY
+
+
+class TestUnsaturated:
+    def test_waiting_majority_adds_block_compute_lean(self):
+        d = decide(16, 12, 0.5, 1.5, wcta=4)
+        assert d.tendency == Tendency.UNSATURATED_COMPUTE
+        assert d.block_delta == 1
+        assert d.comp_action
+
+    def test_waiting_majority_memory_lean(self):
+        d = decide(16, 12, 1.5, 0.5, wcta=4)
+        assert d.tendency == Tendency.UNSATURATED_MEMORY
+        assert d.block_delta == 1
+        assert d.mem_action
+
+    def test_tie_goes_to_memory(self):
+        # Line 16: CompAction only when nALU strictly exceeds nMem.
+        d = decide(16, 12, 1.0, 1.0, wcta=4)
+        assert d.tendency == Tendency.UNSATURATED_MEMORY
+
+    def test_waiting_exactly_half_is_not_unsaturated(self):
+        d = decide(16, 8, 0, 0, wcta=4)
+        assert d.tendency == Tendency.DEGENERATE
+
+
+class TestIdleAndDegenerate:
+    def test_idle_sm_requests_comp_action(self):
+        d = decide(0, 0, 0, 0, wcta=4)
+        assert d.tendency == Tendency.IDLE
+        assert d.comp_action
+        assert d.block_delta == 0
+
+    def test_degenerate_changes_nothing(self):
+        d = decide(16, 2, 0.5, 0.5, wcta=4)
+        assert d.tendency == Tendency.DEGENERATE
+        assert d == Decision(Tendency.DEGENERATE, 0, False, False)
+
+
+class TestPriorityOrder:
+    """Algorithm 1 evaluates its arms strictly in order."""
+
+    def test_full_ordering(self):
+        # All conditions simultaneously true -> first arm wins.
+        d = decide(10, 9, 11, 12, wcta=8)
+        assert d.tendency == Tendency.MEMORY_HEAVY
+        # Remove the first -> second arm.
+        d = decide(10, 9, 1, 12, wcta=8)
+        assert d.tendency == Tendency.COMPUTE
+        # Remove the second -> third arm needs xmem > 2.
+        d = decide(10, 9, 3, 1, wcta=8)
+        assert d.tendency == Tendency.MEMORY
+        # Remove the third -> waiting majority.
+        d = decide(10, 9, 1, 1, wcta=8)
+        assert d.tendency in (Tendency.UNSATURATED_COMPUTE,
+                              Tendency.UNSATURATED_MEMORY)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_active=48, n_waiting=0, n_mem=0, n_alu=0),
+        dict(n_active=1, n_waiting=1, n_mem=0, n_alu=0),
+        dict(n_active=0, n_waiting=0, n_mem=0, n_alu=0),
+    ])
+    def test_always_returns_decision(self, kwargs):
+        d = decide(wcta=8, **kwargs)
+        assert isinstance(d, Decision)
+        assert d.block_delta in (-1, 0, 1)

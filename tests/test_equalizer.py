@@ -1,0 +1,140 @@
+"""Tests for the Equalizer runtime controller."""
+
+import pytest
+
+from repro.config import VF_HIGH, VF_LOW, VF_NORMAL
+from repro.core import EqualizerController
+from repro.errors import ConfigError
+from repro.sim.gpu import run_kernel
+from repro.workloads import build_workload
+
+from helpers import (cache_spec, compute_spec, memory_spec, tiny_equalizer,
+                     tiny_sim)
+
+
+def run_eq(spec, mode, **ctrl_kwargs):
+    sim = tiny_sim()
+    ctrl = EqualizerController(mode, config=sim.equalizer, **ctrl_kwargs)
+    result = run_kernel(build_workload(spec, seed=1), sim, controller=ctrl)
+    return ctrl, result
+
+
+class TestConstruction:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            EqualizerController("fastest")
+
+    def test_default_config_is_paper_config(self):
+        ctrl = EqualizerController("energy")
+        assert ctrl.config.epoch_cycles == 4096
+
+
+class TestTendencyDetection:
+    def test_compute_kernel_classified_compute(self):
+        spec = compute_spec(total_blocks=16, iterations=20, wcta=8,
+                            max_blocks=4, dep_latency=2)
+        ctrl, _ = run_eq(spec, "performance")
+        counts = ctrl.tendency_counts()
+        compute_like = counts.get("compute", 0) + counts.get(
+            "unsaturated_compute", 0)
+        memory_like = counts.get("memory", 0) + counts.get(
+            "memory_heavy", 0)
+        assert compute_like > memory_like
+
+    def test_memory_kernel_classified_memory(self):
+        spec = memory_spec(total_blocks=24, iterations=30)
+        ctrl, _ = run_eq(spec, "performance")
+        counts = ctrl.tendency_counts()
+        memory_like = (counts.get("memory", 0)
+                       + counts.get("memory_heavy", 0)
+                       + counts.get("unsaturated_memory", 0))
+        assert memory_like > counts.get("compute", 0)
+
+
+class TestFrequencyActions:
+    def test_performance_mode_boosts_compute_sm(self):
+        spec = compute_spec(total_blocks=24, iterations=25, wcta=8,
+                            max_blocks=4, dep_latency=2)
+        _, result = run_eq(spec, "performance")
+        residency = result.result.vf_residency()
+        boosted = sum(t for (sm, _m), t in residency.items()
+                      if sm == VF_HIGH)
+        assert boosted > 0.3 * result.result.ticks
+
+    def test_energy_mode_lowers_memory_for_compute(self):
+        spec = compute_spec(total_blocks=24, iterations=25, wcta=8,
+                            max_blocks=4, dep_latency=2)
+        _, result = run_eq(spec, "energy")
+        residency = result.result.vf_residency()
+        throttled = sum(t for (_s, m), t in residency.items()
+                        if m == VF_LOW)
+        assert throttled > 0.3 * result.result.ticks
+
+    def test_energy_mode_lowers_sm_for_memory(self):
+        spec = memory_spec(total_blocks=24, iterations=30)
+        _, result = run_eq(spec, "energy")
+        residency = result.result.vf_residency()
+        throttled = sum(t for (sm, _m), t in residency.items()
+                        if sm == VF_LOW)
+        assert throttled > 0.3 * result.result.ticks
+
+    def test_frequency_management_can_be_frozen(self):
+        spec = memory_spec(total_blocks=16, iterations=25)
+        _, result = run_eq(spec, "performance", manage_frequency=False)
+        assert set(result.result.vf_residency()) == {
+            (VF_NORMAL, VF_NORMAL)}
+
+
+class TestBlockManagement:
+    def test_cache_kernel_blocks_reduced(self):
+        spec = cache_spec(total_blocks=24, iterations=60)
+        ctrl, result = run_eq(spec, "performance",
+                              manage_frequency=False)
+        applied = [d for d in ctrl.decisions if d.applied]
+        assert applied, "expected at least one applied block change"
+        assert min(d.target_blocks for d in ctrl.decisions) < \
+            spec.max_blocks
+
+    def test_hysteresis_requires_three_epochs(self):
+        spec = cache_spec(total_blocks=24, iterations=60)
+        ctrl, _ = run_eq(spec, "performance", manage_frequency=False)
+        # No change can be applied before epoch 3.
+        early = [d for d in ctrl.decisions
+                 if d.applied and d.epoch < ctrl.config.block_hysteresis]
+        assert early == []
+
+    def test_block_management_can_be_frozen(self):
+        spec = cache_spec(total_blocks=24, iterations=60)
+        ctrl, _ = run_eq(spec, "performance", manage_blocks=False)
+        assert all(not d.applied for d in ctrl.decisions)
+
+    def test_block_trace_shape(self):
+        spec = cache_spec(total_blocks=24, iterations=40)
+        ctrl, _ = run_eq(spec, "performance")
+        trace = ctrl.block_trace(sm_id=0)
+        assert trace
+        epochs = [t[0] for t in trace]
+        assert epochs == sorted(epochs)
+        assert all(1 <= b <= spec.max_blocks for _, b in trace)
+
+
+class TestEndToEnd:
+    def test_cache_kernel_speedup(self):
+        spec = cache_spec(total_blocks=24, iterations=60)
+        sim = tiny_sim()
+        base = run_kernel(build_workload(spec, seed=1), sim)
+        ctrl = EqualizerController("performance", config=sim.equalizer)
+        tuned = run_kernel(build_workload(spec, seed=1), sim,
+                           controller=ctrl)
+        assert tuned.performance_vs(base) > 1.1
+
+    def test_energy_mode_saves_energy_on_compute(self):
+        spec = compute_spec(total_blocks=24, iterations=25, wcta=8,
+                            max_blocks=4, dep_latency=2)
+        sim = tiny_sim()
+        base = run_kernel(build_workload(spec, seed=1), sim)
+        ctrl = EqualizerController("energy", config=sim.equalizer)
+        tuned = run_kernel(build_workload(spec, seed=1), sim,
+                           controller=ctrl)
+        assert tuned.energy_savings_vs(base) > 0.02
+        assert tuned.performance_vs(base) > 0.95

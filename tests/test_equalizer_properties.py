@@ -1,0 +1,93 @@
+"""Property-style tests of Equalizer's closed-loop behaviour.
+
+These assert *invariants of the controller in the loop* rather than
+point results: targets stay within hardware limits, the hysteresis
+bound on block-change frequency holds, paused blocks are conserved,
+and the controller never deadlocks a run.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EqualizerController
+from repro.sim.gpu import run_kernel
+from repro.workloads import KernelSpec, Phase, build_workload
+
+from helpers import tiny_equalizer, tiny_sim
+
+spec_strategy = st.fixed_dictionaries({
+    "wcta": st.sampled_from([2, 4, 8]),
+    "max_blocks": st.sampled_from([2, 4]),
+    "total_blocks": st.integers(4, 20),
+    "iterations": st.integers(5, 30),
+    "alu": st.integers(0, 20),
+    "txns": st.integers(1, 2),
+    "ws": st.sampled_from([0, 0, 4, 8]),
+    "mode": st.sampled_from(["performance", "energy"]),
+    "seed": st.integers(0, 5),
+})
+
+
+def build(params):
+    spec = KernelSpec(
+        name="prop-eq", category="unsaturated",
+        wcta=params["wcta"], max_blocks=params["max_blocks"],
+        total_blocks=params["total_blocks"],
+        iterations=params["iterations"],
+        phases=(Phase(alu_per_mem=params["alu"], txns=params["txns"],
+                      ws_lines=params["ws"]),))
+    return build_workload(spec, seed=params["seed"])
+
+
+@given(spec_strategy)
+@settings(max_examples=25, deadline=None)
+def test_equalizer_never_wedges_and_respects_limits(params):
+    sim = tiny_sim()
+    ctrl = EqualizerController(params["mode"], config=sim.equalizer)
+    result = run_kernel(build(params), sim, controller=ctrl)
+    # The run completed all its work.
+    warps = params["total_blocks"] * params["wcta"]
+    assert result.result.loads == warps * params["iterations"]
+    # Targets always within [1, hardware limit].
+    limit = min(params["max_blocks"], 48 // params["wcta"])
+    for d in ctrl.decisions:
+        assert 1 <= d.target_blocks <= limit
+    # VF states never leave the three-step ladder.
+    for seg in result.result.segments:
+        assert seg.sm_vf in (-1, 0, 1)
+        assert seg.mem_vf in (-1, 0, 1)
+
+
+@given(spec_strategy)
+@settings(max_examples=15, deadline=None)
+def test_block_changes_bounded_by_hysteresis(params):
+    sim = tiny_sim()
+    ctrl = EqualizerController(params["mode"], config=sim.equalizer)
+    run_kernel(build(params), sim, controller=ctrl)
+    # Per SM, at most one applied change per `hysteresis` epochs.
+    per_sm = {}
+    for d in ctrl.decisions:
+        if d.applied:
+            per_sm.setdefault(d.sm_id, []).append(d.epoch)
+    h = sim.equalizer.block_hysteresis
+    for epochs in per_sm.values():
+        for a, b in zip(epochs, epochs[1:]):
+            assert b - a >= h
+
+
+@given(st.sampled_from(["performance", "energy"]), st.integers(0, 3))
+@settings(max_examples=8, deadline=None)
+def test_equalizer_energy_sane_versus_baseline(mode, seed):
+    """Equalizer never costs more than the +15% both-domain worst case
+    and never 'creates' energy from nothing."""
+    spec = KernelSpec(
+        name="prop-sane", category="unsaturated", wcta=4, max_blocks=4,
+        total_blocks=12, iterations=20,
+        phases=(Phase(alu_per_mem=8, ws_lines=4, shared_ws=True),))
+    sim = tiny_sim()
+    base = run_kernel(build_workload(spec, seed=seed), sim)
+    tuned = run_kernel(build_workload(spec, seed=seed), sim,
+                       controller=EqualizerController(
+                           mode, config=sim.equalizer))
+    ratio = tuned.energy_j / base.energy_j
+    assert 0.4 < ratio < 1.8
+    assert 0.5 < tuned.performance_vs(base) < 2.5

@@ -1,0 +1,148 @@
+"""Smoke tests for every figure harness at reduced scale.
+
+Each harness must run, produce a well-formed data structure, render a
+report, and satisfy its coarse shape target on a kernel subset.
+"""
+
+import pytest
+
+from repro.experiments import (fig1_sweeps, fig2_variation,
+                               fig4_warp_states, fig5_memory_blocks,
+                               fig7_performance_mode, fig8_energy_mode,
+                               fig9_frequency_distribution,
+                               fig10_cache_comparison,
+                               fig11_adaptiveness, headline, tables)
+from repro.experiments.common import RunCache
+
+SUBSET = ["cutcp", "cfd-1", "kmn"]
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return RunCache(scale=0.3)
+
+
+class TestTables:
+    def test_tables_render(self):
+        out = tables.report()
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "cutcp" in out
+        assert "Fermi (15 SMs, 32 PE/SM)" in out
+
+    def test_table1_rows(self):
+        t1 = tables.table1()
+        assert "Compute Intensive" in t1
+        assert "Optimal" in t1
+
+
+class TestFig1:
+    def test_subfigures_and_shapes(self, cache):
+        data = fig1_sweeps.run(cache, kernels=SUBSET)
+        assert set(data["frequency"]) == {"1a", "1b", "1c", "1d"}
+        pts = data["frequency"]["1a"]
+        # SM boost: compute kernel gains more than memory kernel.
+        assert pts["cutcp"]["performance"] > pts["cfd-1"]["performance"]
+        # SM low (1b): efficiency improves for the memory kernel.
+        low = data["frequency"]["1b"]["cfd-1"]
+        assert low["efficiency"] > 1.0
+        assert "kmn" in data["static_optimal"]
+        assert data["static_optimal"]["kmn"]["blocks"] < 6
+        report = fig1_sweeps.report(data)
+        assert "Figure 1a" in report and "Figure 1f" in report
+
+
+class TestFig2:
+    def test_bfs_variation(self, cache):
+        data = fig2_variation.run_fig2a(cache)
+        assert len(data["optimal"]) == 12
+        assert set(data["per_config"]) == {1, 2, 3}
+        # Mid invocations prefer fewer blocks than early ones.
+        assert min(data["optimal_choice"][7:10]) < 3
+
+    def test_mri_series(self, cache):
+        data = fig2_variation.run_fig2b(cache)
+        assert data["series"]
+        report = fig2_variation.report(
+            {"fig2a": fig2_variation.run_fig2a(cache), "fig2b": data})
+        assert "Figure 2a" in report
+
+
+class TestFig4:
+    def test_distributions(self, cache):
+        data = fig4_warp_states.run(cache, kernels=SUBSET)
+        for name, f in data.items():
+            total = (f["waiting"] + f["excess_mem"] + f["excess_alu"]
+                     + f["other"])
+            assert total == pytest.approx(1.0, abs=1e-6)
+        assert data["cutcp"]["excess_alu"] > data["cfd-1"]["excess_alu"]
+        assert "Figure 4" in fig4_warp_states.report(data)
+
+
+class TestFig5:
+    def test_memory_kernels_saturate_early(self):
+        # Needs longer runs than the shared 0.3-scale cache: at tiny
+        # scale memory kernels are launch-latency-bound and block count
+        # barely matters.
+        big = RunCache(scale=0.7)
+        data = fig5_memory_blocks.run(big, kernels=["cfd-1"])
+        series = data["cfd-1"]
+        assert series[1] == pytest.approx(1.0)
+        assert max(series.values()) > 1.2  # more blocks help...
+        sat = fig5_memory_blocks.saturation_point(series)
+        assert sat <= max(series)          # ...but saturate early
+        assert "Figure 5" in fig5_memory_blocks.report(data)
+
+
+class TestFig7And8:
+    def test_performance_mode(self, cache):
+        data = fig7_performance_mode.run(cache, kernels=SUBSET)
+        eq = data["summary"]["equalizer"]["speedup_gmean"]
+        assert eq > data["summary"]["sm_boost"]["speedup_gmean"] - 0.02
+        assert eq > 1.05
+        assert "GMEAN" in fig7_performance_mode.report(data)
+
+    def test_energy_mode(self, cache):
+        data = fig8_energy_mode.run(cache, kernels=SUBSET)
+        s = data["summary"]
+        assert s["equalizer_savings_mean"] > 0.0
+        assert s["equalizer_perf_gmean"] > s["sm_low_perf_gmean"]
+        assert "Figure 8" in fig8_energy_mode.report(data)
+
+
+class TestFig9:
+    def test_residency_buckets(self, cache):
+        data = fig9_frequency_distribution.run(cache, kernels=SUBSET)
+        for name, entry in data.items():
+            for mode in ("performance", "energy"):
+                assert sum(entry[mode].values()) == pytest.approx(
+                    1.0, abs=1e-6)
+        # Compute kernel: P mode at core-high, E mode at mem-low.
+        assert data["cutcp"]["performance"]["core_high"] > 0.3
+        assert data["cutcp"]["energy"]["mem_low"] > 0.3
+        # Memory kernel: E mode at core-low.
+        assert data["cfd-1"]["energy"]["core_low"] > 0.3
+
+
+class TestFig10And11:
+    def test_cache_comparison(self, cache):
+        data = fig10_cache_comparison.run(cache, kernels=["kmn"])
+        assert data["per_kernel"]["kmn"]["equalizer"] > 1.2
+        assert "Equalizer" in fig10_cache_comparison.report(data)
+
+    def test_adaptiveness(self, cache):
+        data = fig11_adaptiveness.run(cache)
+        a = data["fig11a"]
+        assert len(a["equalizer_ticks"]) == 12
+        assert a["equalizer_total"] > 0
+        b = data["fig11b"]
+        assert b["equalizer"] and b["dyncta"]
+        assert "Figure 11a" in fig11_adaptiveness.report(data)
+
+
+class TestHeadline:
+    def test_headline_structure(self, cache):
+        data = headline.run(cache, kernels=SUBSET)
+        assert data["equalizer_performance"]["speedup"] > 1.0
+        out = headline.report(data)
+        assert "paper" in out

@@ -1,0 +1,126 @@
+"""GPU top-level tests: run loop, VF switching, segments, fast-forward."""
+
+import pytest
+
+from repro.config import VF_HIGH, VF_LOW, VF_NORMAL
+from repro.errors import SimulationError
+from repro.baselines import StaticController
+from repro.sim.gpu import GPU, run_kernel
+from repro.workloads import build_workload
+
+from helpers import compute_spec, memory_spec, tiny_sim
+
+
+class TestRunLoop:
+    def test_run_kernel_returns_energy(self):
+        r = run_kernel(build_workload(compute_spec(), seed=1), tiny_sim())
+        assert r.ticks > 0
+        assert r.energy_j > 0
+        assert r.seconds > 0
+        assert set(r.energy_breakdown) >= {"sm_dynamic", "sm_leakage"}
+
+    def test_determinism(self):
+        a = run_kernel(build_workload(compute_spec(), seed=1), tiny_sim())
+        b = run_kernel(build_workload(compute_spec(), seed=1), tiny_sim())
+        assert a.ticks == b.ticks
+        assert a.energy_j == pytest.approx(b.energy_j)
+
+    def test_seed_changes_jittered_workload(self):
+        spec = compute_spec()
+        a = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        b = run_kernel(build_workload(spec, seed=2), tiny_sim())
+        # Same work, slightly different schedule.
+        assert a.result.instructions == b.result.instructions
+
+    def test_max_ticks_guard(self):
+        sim = tiny_sim(max_ticks=50)
+        with pytest.raises(SimulationError):
+            run_kernel(build_workload(memory_spec(), seed=1), sim)
+
+    def test_multi_invocation_accounting(self):
+        spec = compute_spec(invocations=3, total_blocks=6)
+        r = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        assert len(r.result.invocation_ticks) == 3
+        assert sum(r.result.invocation_ticks) == r.result.ticks
+
+
+class TestVFSwitching:
+    def test_sm_boost_speeds_up_compute(self):
+        spec = compute_spec(total_blocks=16, iterations=20)
+        base = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        fast = run_kernel(build_workload(spec, seed=1), tiny_sim(),
+                          controller=StaticController(sm_vf=VF_HIGH))
+        assert fast.performance_vs(base) > 1.10
+
+    def test_mem_boost_speeds_up_memory(self):
+        spec = memory_spec(total_blocks=24, iterations=30)
+        base = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        fast = run_kernel(build_workload(spec, seed=1), tiny_sim(),
+                          controller=StaticController(mem_vf=VF_HIGH))
+        assert fast.performance_vs(base) > 1.05
+
+    def test_mem_low_barely_hurts_compute(self):
+        spec = compute_spec(total_blocks=16, iterations=20)
+        base = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        slow = run_kernel(build_workload(spec, seed=1), tiny_sim(),
+                          controller=StaticController(mem_vf=VF_LOW))
+        assert slow.performance_vs(base) > 0.97
+        assert slow.energy_j < base.energy_j
+
+    def test_sm_low_slows_compute_proportionally(self):
+        spec = compute_spec(total_blocks=16, iterations=20)
+        base = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        slow = run_kernel(build_workload(spec, seed=1), tiny_sim(),
+                          controller=StaticController(sm_vf=VF_LOW))
+        assert 0.82 < slow.performance_vs(base) < 0.92
+
+    def test_invalid_vf_rejected(self):
+        gpu = GPU(tiny_sim())
+        with pytest.raises(SimulationError):
+            gpu.set_vf(sm_vf=3)
+
+    def test_set_vf_noop_keeps_segment(self):
+        gpu = GPU(tiny_sim())
+        gpu.set_vf(sm_vf=VF_NORMAL, mem_vf=VF_NORMAL)
+        assert gpu._segments == []
+
+
+class TestSegments:
+    def test_segments_cover_whole_run(self):
+        spec = compute_spec()
+        r = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        assert sum(s.ticks for s in r.result.segments) == r.result.ticks
+
+    def test_segment_activity_totals(self):
+        spec = compute_spec()
+        r = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        assert sum(s.instructions for s in r.result.segments) == \
+            r.result.instructions
+        assert sum(s.dram_txns for s in r.result.segments) == \
+            r.result.dram_txns
+
+    def test_static_controller_single_operating_point(self):
+        spec = compute_spec()
+        r = run_kernel(build_workload(spec, seed=1), tiny_sim(),
+                       controller=StaticController(sm_vf=VF_HIGH))
+        points = {(s.sm_vf, s.mem_vf) for s in r.result.segments}
+        assert points == {(VF_HIGH, VF_NORMAL)}
+
+
+class TestFastForward:
+    def test_fast_forward_preserves_results(self):
+        # A latency-bound kernel exercises the quiescent skip heavily;
+        # its statistics must match the paper-exact per-cycle counts.
+        spec = memory_spec(total_blocks=4, iterations=8, wcta=2)
+        r = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        assert r.result.loads == 4 * 2 * 8
+        # Sampling continued during skips: samples ~ ticks/interval.
+        expected = r.result.ticks // 16 * len(range(4))
+        assert r.result.tot_samples == pytest.approx(expected, rel=0.1)
+
+    def test_epoch_records_monotonic(self):
+        spec = memory_spec(total_blocks=16, iterations=25)
+        r = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        epochs = [e.sm_cycle for e in r.result.epochs]
+        assert epochs == sorted(epochs)
+        assert len(set(e.index for e in r.result.epochs)) == len(epochs)

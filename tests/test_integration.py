@@ -1,0 +1,110 @@
+"""Integration tests: the real suite at reduced scale, full GPU.
+
+These run the actual Table II kernels (with fewer iterations) on the
+full 15-SM configuration and assert the paper's category signatures and
+the directions of every headline effect.
+"""
+
+import pytest
+
+from repro.experiments.common import (BASELINE, EQ_ENERGY, EQ_PERF,
+                                      MEM_HIGH, MEM_LOW, RunCache,
+                                      SM_HIGH, SM_LOW, static_blocks)
+
+SCALE = 0.35
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return RunCache(scale=SCALE)
+
+
+class TestCategorySignatures:
+    def test_compute_kernel_xalu_dominant(self, cache):
+        f = cache.baseline("cutcp").result.state_fractions()
+        assert f["excess_alu"] > 0.3
+        assert f["excess_alu"] > f["excess_mem"]
+
+    def test_memory_kernel_waiting_and_xmem(self, cache):
+        f = cache.baseline("cfd-1").result.state_fractions()
+        assert f["waiting"] > 0.4
+        assert f["excess_mem"] > f["excess_alu"]
+
+    def test_cache_kernel_thrashes_at_max_threads(self, cache):
+        r = cache.baseline("kmn").result
+        assert r.l1_hit_rate < 0.2
+
+    def test_texture_kernel_hides_backpressure(self, cache):
+        f = cache.baseline("leuko-1").result.state_fractions()
+        assert f["waiting"] > 0.7
+        assert f["excess_mem"] < 0.05
+
+    def test_compute_kernel_low_bandwidth(self, cache):
+        r = cache.baseline("lavaMD").result
+        assert r.dram_txns / r.ticks < 0.3
+
+    def test_memory_kernel_high_bandwidth(self, cache):
+        r = cache.baseline("cfd-1").result
+        assert r.dram_txns / r.ticks > 1.2
+
+
+class TestKnobDirections:
+    """Figure 1 directions."""
+
+    def test_sm_boost_helps_compute_not_memory(self, cache):
+        comp = cache.performance("cutcp", SM_HIGH)
+        mem = cache.performance("cfd-1", SM_HIGH)
+        assert comp > 1.08
+        assert mem < comp - 0.05
+
+    def test_mem_boost_helps_memory_not_compute(self, cache):
+        comp = cache.performance("cutcp", MEM_HIGH)
+        mem = cache.performance("cfd-1", MEM_HIGH)
+        assert mem > 1.05
+        assert comp < mem - 0.03
+
+    def test_sm_low_cheap_for_memory_kernels(self, cache):
+        assert cache.performance("cfd-1", SM_LOW) > 0.95
+
+    def test_mem_low_cheap_for_compute_kernels(self, cache):
+        assert cache.performance("cutcp", MEM_LOW) > 0.97
+        assert cache.energy_savings("cutcp", MEM_LOW) > 0.02
+
+    def test_cache_kernel_block_sweep_has_interior_optimum(self, cache):
+        perfs = {n: cache.performance("kmn", static_blocks(n))
+                 for n in (1, 4, 6)}
+        assert perfs[4] > perfs[6]
+        assert perfs[4] > 1.5
+
+
+class TestEqualizerHeadlines:
+    def test_performance_mode_on_compute(self, cache):
+        assert cache.performance("cutcp", EQ_PERF) > 1.08
+
+    def test_performance_mode_on_memory(self, cache):
+        assert cache.performance("cfd-1", EQ_PERF) > 1.03
+
+    def test_performance_mode_on_cache(self, cache):
+        assert cache.performance("kmn", EQ_PERF) > 1.3
+        assert cache.energy_increase("kmn", EQ_PERF) < 0.0
+
+    def test_energy_mode_saves_without_hurting_compute(self, cache):
+        assert cache.performance("cutcp", EQ_ENERGY) > 0.97
+        assert cache.energy_savings("cutcp", EQ_ENERGY) > 0.03
+
+    def test_energy_mode_on_memory(self, cache):
+        assert cache.performance("cfd-1", EQ_ENERGY) > 0.92
+        assert cache.energy_savings("cfd-1", EQ_ENERGY) > 0.04
+
+    def test_leuko1_misprediction(self, cache):
+        # The texture path hides saturation; Equalizer cannot match the
+        # static memory boost on leuko-1 (Section V-B).
+        eq = cache.performance("leuko-1", EQ_PERF)
+        boost = cache.performance("leuko-1", MEM_HIGH)
+        assert eq < boost
+
+    def test_imbalanced_kernel_cheap_boost(self, cache):
+        # prtcl-2: boosting finishes the straggler early, saving
+        # leakage; the energy increase stays small.
+        assert cache.performance("prtcl-2", EQ_PERF) > 1.08
+        assert cache.energy_increase("prtcl-2", EQ_PERF) < 0.08

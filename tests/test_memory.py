@@ -1,0 +1,134 @@
+"""Unit tests for the shared memory system (L2 + DRAM + queues)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.sim.memory import (MemorySubsystem, REQ_READ, REQ_TEX,
+                              REQ_WRITE)
+
+
+def make_memory(**overrides):
+    cfg = GPUConfig(sm_count=2, **overrides)
+    delivered = []
+    mem = MemorySubsystem(cfg, lambda sm, line, kind:
+                          delivered.append((sm, line, kind)))
+    return cfg, mem, delivered
+
+
+class TestSubmitDeliver:
+    def test_l2_miss_roundtrip_latency(self):
+        cfg, mem, delivered = make_memory()
+        mem.submit(0, 100, REQ_READ)
+        expected = cfg.l2_latency + cfg.dram_latency + 1
+        for _ in range(expected + 2):
+            mem.cycle()
+        assert delivered == [(0, 100, REQ_READ)]
+        assert mem.dram_txns == 1
+
+    def test_l2_hit_is_faster(self):
+        cfg, mem, delivered = make_memory()
+        mem.submit(0, 100, REQ_READ)
+        for _ in range(cfg.l2_latency + cfg.dram_latency + 2):
+            mem.cycle()
+        delivered.clear()
+        mem.submit(0, 100, REQ_READ)  # now resident in L2
+        for _ in range(cfg.l2_latency + 2):
+            mem.cycle()
+        assert delivered == [(0, 100, REQ_READ)]
+
+    def test_write_consumes_bandwidth_without_response(self):
+        cfg, mem, delivered = make_memory()
+        mem.submit(0, 100, REQ_WRITE)
+        for _ in range(cfg.l2_latency + cfg.dram_latency + 5):
+            mem.cycle()
+        assert delivered == []
+        assert mem.dram_txns == 1
+        assert mem.writes_dropped == 1
+
+    def test_texture_request_delivered_with_kind(self):
+        cfg, mem, delivered = make_memory()
+        mem.submit(1, 7, REQ_TEX)
+        for _ in range(cfg.l2_latency + cfg.dram_latency + 2):
+            mem.cycle()
+        assert delivered == [(1, 7, REQ_TEX)]
+
+
+class TestBandwidth:
+    def test_service_rate_capped(self):
+        cfg, mem, delivered = make_memory()
+        per_cycle = cfg.dram_bytes_per_cycle / 128.0
+        # Saturate: submit far more than one cycle can serve.
+        for i in range(64):
+            mem.submit(0, 10_000 + i, REQ_READ)
+        cycles = 200
+        for _ in range(cycles):
+            mem.cycle()
+        assert mem.dram_txns <= per_cycle * cycles
+
+    def test_idle_bandwidth_not_banked(self):
+        cfg, mem, delivered = make_memory()
+        for _ in range(100):
+            mem.cycle()  # idle
+        for i in range(32):
+            mem.submit(0, 20_000 + i, REQ_READ)
+        mem.cycle()
+        served_first_cycle = mem.dram_txns
+        assert served_first_cycle <= (
+            2 * cfg.dram_bytes_per_cycle) / 128.0 + 1
+
+
+class TestBackPressure:
+    def test_ingress_cap_signalled(self):
+        cfg, mem, _ = make_memory()
+        for i in range(cfg.memory_ingress_depth):
+            assert mem.can_accept()
+            mem.submit(0, 30_000 + i, REQ_READ)
+        assert not mem.can_accept()
+
+    def test_dram_queue_blocks_l2_drain(self):
+        cfg, mem, _ = make_memory(dram_queue_depth=4, l2_ports=8)
+        for i in range(20):
+            mem.submit(0, 40_000 + i, REQ_READ)
+        mem.cycle()
+        assert len(mem.dram_queue) <= 4
+
+    def test_peak_statistics_recorded(self):
+        cfg, mem, _ = make_memory()
+        for i in range(10):
+            mem.submit(0, 50_000 + i, REQ_READ)
+        assert mem.peak_ingress == 10
+
+
+class TestQuiescence:
+    def test_quiescent_with_only_inflight_responses(self):
+        cfg, mem, _ = make_memory()
+        mem.submit(0, 60_000, REQ_READ)
+        assert not mem.quiescent()
+        for _ in range(cfg.l2_latency + 5):
+            mem.cycle()
+        # request now past the queues, waiting as a response
+        assert mem.quiescent()
+        assert mem.next_event_cycle() is not None
+
+    def test_next_event_none_when_empty(self):
+        _, mem, _ = make_memory()
+        assert mem.next_event_cycle() is None
+
+    def test_skip_cycles_advances_clock_only(self):
+        cfg, mem, delivered = make_memory()
+        mem.submit(0, 70_000, REQ_READ)
+        for _ in range(cfg.l2_latency + 3):
+            mem.cycle()
+        due = mem.next_event_cycle()
+        gap = due - mem.cycle_count - 1
+        mem.skip_cycles(gap)
+        assert delivered == []
+        mem.cycle()
+        mem.cycle()
+        assert delivered, "response must arrive right after the skip"
+
+    def test_outstanding_counts_everything(self):
+        cfg, mem, _ = make_memory()
+        mem.submit(0, 80_000, REQ_READ)
+        mem.submit(0, 80_001, REQ_READ)
+        assert mem.outstanding == 2

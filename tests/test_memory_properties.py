@@ -1,0 +1,88 @@
+"""Property-based tests on the memory system and full-simulation
+conservation laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GPUConfig
+from repro.sim.gpu import run_kernel
+from repro.sim.memory import MemorySubsystem, REQ_READ, REQ_WRITE
+from repro.workloads import KernelSpec, Phase, build_workload
+
+from helpers import tiny_sim
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 500),
+                          st.booleans()),
+                min_size=1, max_size=80),
+       st.integers(50, 400))
+@settings(max_examples=40, deadline=None)
+def test_every_read_is_answered_exactly_once(requests, extra_cycles):
+    """Conservation: each read submitted is delivered exactly once,
+    writes never are, regardless of the request mix."""
+    cfg = GPUConfig(sm_count=4)
+    delivered = []
+    mem = MemorySubsystem(cfg, lambda sm, line, kind:
+                          delivered.append((sm, line)))
+    reads = {}
+    for sm_id, line, is_write in requests:
+        if not mem.can_accept():
+            break
+        mem.submit(sm_id, line, REQ_WRITE if is_write else REQ_READ)
+        if not is_write:
+            key = (sm_id, line)
+            reads[key] = reads.get(key, 0) + 1
+    horizon = (cfg.l2_latency + cfg.dram_latency) * 2 + extra_cycles \
+        + len(requests) * 2
+    for _ in range(horizon):
+        mem.cycle()
+    got = {}
+    for key in delivered:
+        got[key] = got.get(key, 0) + 1
+    assert got == reads
+
+
+@given(st.integers(1, 6), st.integers(2, 10), st.integers(0, 6),
+       st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_simulation_instruction_conservation(blocks, iterations, alu,
+                                             txns):
+    """Whatever the shape, every generated instruction issues exactly
+    once and the run terminates with nothing left resident."""
+    spec = KernelSpec(
+        name="prop-kernel", category="unsaturated", wcta=4, max_blocks=2,
+        total_blocks=blocks, iterations=iterations,
+        phases=(Phase(alu_per_mem=alu, txns=txns, ws_lines=0),))
+    r = run_kernel(build_workload(spec, seed=9), tiny_sim())
+    warps = blocks * 4
+    assert r.result.loads == warps * iterations
+    assert r.result.alu_instructions == warps * iterations * alu
+    assert r.result.instructions == r.result.alu_instructions + \
+        r.result.mem_instructions
+
+
+@given(st.integers(1, 8), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_block_cap_invariant(target, use_ws):
+    """No epoch ever observes more active blocks than the static cap."""
+    from repro.baselines import StaticController
+    phases = (Phase(alu_per_mem=3, ws_lines=6 if use_ws else 0),)
+    spec = KernelSpec(
+        name="prop-cap", category="unsaturated", wcta=4, max_blocks=4,
+        total_blocks=16, iterations=15, phases=phases)
+    r = run_kernel(build_workload(spec, seed=4), tiny_sim(),
+                   controller=StaticController(blocks=target))
+    cap = min(target, 4)
+    for e in r.result.epochs:
+        assert e.blocks <= cap + 1e-9
+
+
+@given(st.floats(0.1, 1.0))
+@settings(max_examples=10, deadline=None)
+def test_scaled_workloads_do_proportional_work(scale):
+    spec = KernelSpec(
+        name="prop-scale", category="compute", wcta=4, max_blocks=2,
+        total_blocks=8, iterations=40,
+        phases=(Phase(alu_per_mem=5, ws_lines=4, shared_ws=True),))
+    r = run_kernel(build_workload(spec, scale=scale, seed=2), tiny_sim())
+    expected_iters = max(1, int(40 * scale))
+    assert r.result.loads == 8 * 4 * expected_iters

@@ -1,0 +1,134 @@
+"""Unit tests for the Table I action matrix and the frequency manager."""
+
+import pytest
+
+from repro.config import VF_HIGH, VF_LOW, VF_NORMAL
+from repro.core.frequency import FrequencyManager
+from repro.core.modes import (Action, ENERGY, MAINTAIN, PERFORMANCE,
+                              actions_for, comp_action, mem_action)
+from repro.errors import ConfigError
+
+
+class FakeGPU:
+    """Minimal stand-in exposing what FrequencyManager touches."""
+
+    def __init__(self, sm_vf=VF_NORMAL, mem_vf=VF_NORMAL):
+        self.sm_vf = sm_vf
+        self.mem_vf = mem_vf
+
+    def set_vf(self, sm_vf=None, mem_vf=None):
+        if sm_vf is not None:
+            self.sm_vf = sm_vf
+        if mem_vf is not None:
+            self.mem_vf = mem_vf
+
+
+class TestTable1Actions:
+    def test_compute_energy_throttles_memory(self):
+        a = comp_action(ENERGY)
+        assert a.sm_target == VF_NORMAL
+        assert a.mem_target == VF_LOW
+
+    def test_compute_performance_boosts_sm(self):
+        a = comp_action(PERFORMANCE)
+        assert a.sm_target == VF_HIGH
+        assert a.mem_target == VF_NORMAL
+
+    def test_memory_energy_throttles_sm(self):
+        a = mem_action(ENERGY)
+        assert a.sm_target == VF_LOW
+        assert a.mem_target == VF_NORMAL
+
+    def test_memory_performance_boosts_memory(self):
+        a = mem_action(PERFORMANCE)
+        assert a.sm_target == VF_NORMAL
+        assert a.mem_target == VF_HIGH
+
+    def test_actions_for_returns_both_rows(self):
+        comp, mem = actions_for(ENERGY)
+        assert comp == comp_action(ENERGY)
+        assert mem == mem_action(ENERGY)
+
+    def test_maintain_abstains(self):
+        assert MAINTAIN.sm_target is None
+        assert MAINTAIN.mem_target is None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            comp_action("turbo")
+
+    def test_action_validates_targets(self):
+        with pytest.raises(ConfigError):
+            Action(sm_target=5)
+
+
+class TestFrequencyManagerTally:
+    def test_majority_up(self):
+        fm = FrequencyManager(5)
+        votes = [comp_action(PERFORMANCE)] * 3 + [MAINTAIN] * 2
+        assert fm.tally(votes, VF_NORMAL, VF_NORMAL) == (1, 0)
+
+    def test_no_strict_majority_holds(self):
+        fm = FrequencyManager(4)
+        votes = [comp_action(PERFORMANCE)] * 2 + [MAINTAIN] * 2
+        assert fm.tally(votes, VF_NORMAL, VF_NORMAL) == (0, 0)
+
+    def test_majority_down(self):
+        fm = FrequencyManager(3)
+        votes = [mem_action(ENERGY)] * 2 + [MAINTAIN]
+        assert fm.tally(votes, VF_NORMAL, VF_NORMAL) == (-1, 0)
+
+    def test_target_semantics_pull_back_to_normal(self):
+        # SMs voting "memory performance" (mem_target NORMAL for SM
+        # domain... SM target NORMAL) while SM domain sits HIGH: votes
+        # count as "down" toward normal.
+        fm = FrequencyManager(3)
+        votes = [mem_action(PERFORMANCE)] * 3
+        sm_delta, mem_delta = fm.tally(votes, VF_HIGH, VF_NORMAL)
+        assert sm_delta == -1   # walk SM back toward nominal
+        assert mem_delta == 1
+
+    def test_target_reached_no_vote(self):
+        fm = FrequencyManager(3)
+        votes = [comp_action(PERFORMANCE)] * 3
+        assert fm.tally(votes, VF_HIGH, VF_NORMAL) == (0, 0)
+
+    def test_abstentions_count_against_majority(self):
+        fm = FrequencyManager(15)
+        votes = [comp_action(PERFORMANCE)] * 7 + [MAINTAIN] * 8
+        assert fm.tally(votes, VF_NORMAL, VF_NORMAL) == (0, 0)
+
+    def test_rejects_bad_sm_count(self):
+        with pytest.raises(ConfigError):
+            FrequencyManager(0)
+
+
+class TestFrequencyManagerStep:
+    def test_one_step_per_epoch(self):
+        fm = FrequencyManager(3)
+        gpu = FakeGPU(sm_vf=VF_LOW)
+        votes = [comp_action(PERFORMANCE)] * 3
+        fm.step(gpu, votes)
+        assert gpu.sm_vf == VF_NORMAL  # low -> normal, not low -> high
+        fm.step(gpu, votes)
+        assert gpu.sm_vf == VF_HIGH
+
+    def test_clamped_at_high(self):
+        fm = FrequencyManager(3)
+        gpu = FakeGPU(sm_vf=VF_HIGH)
+        fm.step(gpu, [Action(sm_target=VF_HIGH)] * 3)
+        assert gpu.sm_vf == VF_HIGH
+
+    def test_clamped_at_low(self):
+        fm = FrequencyManager(3)
+        gpu = FakeGPU(mem_vf=VF_LOW)
+        fm.step(gpu, [Action(mem_target=VF_LOW)] * 3)
+        assert gpu.mem_vf == VF_LOW
+
+    def test_step_counters(self):
+        fm = FrequencyManager(3)
+        gpu = FakeGPU()
+        fm.step(gpu, [comp_action(PERFORMANCE)] * 3)
+        assert fm.sm_steps_up == 1
+        fm.step(gpu, [mem_action(ENERGY)] * 3)
+        assert fm.sm_steps_down == 1

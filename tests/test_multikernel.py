@@ -1,0 +1,103 @@
+"""Tests for concurrent kernels on SM partitions."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.gpu import GPU, run_kernel
+from repro.sim.multikernel import MultiKernelWorkload, PartitionedGWDE
+from repro.workloads import KernelSpec
+
+from helpers import cache_spec, compute_spec, memory_spec, tiny_sim
+
+
+def mix(seed=3):
+    comp = compute_spec(total_blocks=6, iterations=10)
+    mem = memory_spec(total_blocks=6, iterations=12)
+    return MultiKernelWorkload([(comp, [0, 1]), (mem, [2, 3])],
+                               seed=seed)
+
+
+class TestPartitionedGWDE:
+    def test_requests_respect_partitions(self):
+        g = PartitionedGWDE({0: ["a", "b"], 1: ["c"]})
+        assert g.request(0) == "a"
+        assert g.request(1) == "c"
+        assert g.request(1) is None   # partition 1 exhausted
+        assert g.request(2) is None   # unknown SM gets nothing
+        assert g.request(0) == "b"
+
+    def test_drained_semantics(self):
+        g = PartitionedGWDE({0: ["a"]})
+        g.request(0)
+        assert not g.drained
+        g.notify_done()
+        assert g.drained
+        assert len(g) == 0
+
+
+class TestMultiKernelWorkload:
+    def test_validation(self):
+        comp = compute_spec()
+        with pytest.raises(WorkloadError):
+            MultiKernelWorkload([])
+        with pytest.raises(WorkloadError):
+            MultiKernelWorkload([(comp, [0]), (comp, [0])])
+        with pytest.raises(WorkloadError):
+            MultiKernelWorkload([(comp, [])])
+        multi_inv = compute_spec(invocations=2)
+        with pytest.raises(WorkloadError):
+            MultiKernelWorkload([(multi_inv, [0])])
+
+    def test_per_sm_geometry(self):
+        wl = mix()
+        assert wl.wcta_for_sm(0, 0) == 4    # compute spec wcta
+        assert wl.wcta_for_sm(0, 2) == 8    # memory spec wcta
+        assert wl.name == "t-compute+t-memory"
+
+    def test_gwde_deals_round_robin(self):
+        wl = mix()
+        gwde = wl.make_gwde(0)
+        assert len(gwde.pools[0]) == 3
+        assert len(gwde.pools[1]) == 3
+        assert len(gwde.pools[2]) == 3
+        assert len(gwde.pools[3]) == 3
+
+
+class TestConcurrentExecution:
+    def test_both_kernels_complete_on_their_partitions(self):
+        wl = mix()
+        gpu = GPU(tiny_sim())
+        result = gpu.run(wl)
+        # Compute partition ran only compute blocks, etc.
+        assert gpu.sms[0].blocks_run + gpu.sms[1].blocks_run == 6
+        assert gpu.sms[2].blocks_run + gpu.sms[3].blocks_run == 6
+        assert result.blocks_run == 12
+        # Per-partition geometry took effect.
+        assert gpu.sms[0].wcta == 4
+        assert gpu.sms[2].wcta == 8
+
+    def test_partitions_show_their_own_signatures(self):
+        wl = MultiKernelWorkload(
+            [(compute_spec(total_blocks=8, iterations=25, wcta=8,
+                           max_blocks=4, dep_latency=2), [0, 1]),
+             (memory_spec(total_blocks=8, iterations=30), [2, 3])],
+            seed=1)
+        gpu = GPU(tiny_sim())
+        gpu.run(wl)
+        comp_sm = gpu.sms[0]
+        mem_sm = gpu.sms[2]
+        assert comp_sm.tot_xalu > comp_sm.tot_xmem
+        assert mem_sm.tot_waiting > mem_sm.tot_xalu
+
+    def test_runs_deterministically(self):
+        a = run_kernel(mix(seed=5), tiny_sim())
+        b = run_kernel(mix(seed=5), tiny_sim())
+        assert a.result.ticks == b.result.ticks
+
+    def test_experiment_harness_shape(self):
+        from repro.experiments import concurrent_kernels
+        data = concurrent_kernels.run(scale=0.15)
+        for mode in ("performance", "energy"):
+            for label in ("global", "per_sm"):
+                assert data[mode][label]["speedup"] > 0
+        assert "per-SM" in concurrent_kernels.report(data)

@@ -1,0 +1,129 @@
+"""Tests for the per-SM voltage-regulator extension (Section V-A1)."""
+
+import pytest
+
+from repro.config import VF_HIGH, VF_LOW, VF_NORMAL
+from repro.errors import SimulationError
+from repro.sim.gpu import GPU, run_kernel
+from repro.sim.per_sm_vrm import (PerSMEqualizerController, PerSMVRMGPU,
+                                  run_kernel_per_sm_vrm)
+from repro.workloads import build_workload
+
+from helpers import compute_spec, memory_spec, tiny_sim
+
+
+def imbalanced_spec(**overrides):
+    base = dict(total_blocks=5, iterations=20, imbalance_factor=8.0)
+    base.update(overrides)
+    return compute_spec(**base)
+
+
+class TestPerSMVRMGPU:
+    def test_baseline_equivalence_without_controller(self):
+        # With no controller, per-SM domains all sit at nominal, so the
+        # run must match the plain GPU exactly.
+        spec = compute_spec()
+        a = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        b = run_kernel_per_sm_vrm(build_workload(spec, seed=1),
+                                  tiny_sim())
+        assert a.result.ticks == b.result.ticks
+        assert a.result.instructions == b.result.instructions
+        assert a.energy_j == pytest.approx(b.energy_j, rel=1e-6)
+
+    def test_set_sm_vf_changes_one_domain(self):
+        gpu = PerSMVRMGPU(tiny_sim())
+        gpu.set_sm_vf(0, VF_HIGH)
+        assert gpu.sm_vfs[0] == VF_HIGH
+        assert gpu.sm_vfs[1] == VF_NORMAL
+        assert gpu.sm_domains[0].rate > gpu.sm_domains[1].rate
+
+    def test_median_reported_chip_wide(self):
+        gpu = PerSMVRMGPU(tiny_sim())
+        for i in range(3):
+            gpu.set_sm_vf(i, VF_HIGH)
+        assert gpu.sm_vf == VF_HIGH
+
+    def test_invalid_state_rejected(self):
+        gpu = PerSMVRMGPU(tiny_sim())
+        with pytest.raises(SimulationError):
+            gpu.set_sm_vf(0, 5)
+
+    def test_boosted_sm_finishes_more_work(self):
+        # Enough block generations (~8) for a 15% faster SM to lap the
+        # others and claim extra work from the GWDE.
+        spec = compute_spec(total_blocks=130, iterations=10)
+        sim = tiny_sim()
+
+        class BoostOne:
+            mode = "boost-one"
+
+            def attach(self, gpu):
+                gpu.set_sm_vf(0, VF_HIGH)
+
+            def on_invocation_start(self, gpu, inv):
+                pass
+
+            def on_epoch(self, gpu, per_sm):
+                pass
+
+            def on_run_end(self, gpu):
+                pass
+
+        gpu = PerSMVRMGPU(sim, controller=BoostOne())
+        gpu.run(build_workload(spec, seed=1))
+        assert gpu.sms[0].blocks_run > gpu.sms[1].blocks_run
+
+    def test_per_sm_segments_cover_run(self):
+        gpu = PerSMVRMGPU(tiny_sim())
+        result = gpu.run(build_workload(compute_spec(), seed=1))
+        for segments in gpu.sm_segments:
+            assert sum(s.ticks for s in segments) == result.ticks
+
+
+class TestPerSMController:
+    def test_requires_per_sm_gpu(self):
+        ctrl = PerSMEqualizerController("energy")
+        with pytest.raises(SimulationError):
+            GPU(tiny_sim(), controller=ctrl)
+
+    def test_idle_sms_throttle_themselves_in_energy_mode(self):
+        sim = tiny_sim()
+        ctrl = PerSMEqualizerController("energy", config=sim.equalizer)
+        gpu = PerSMVRMGPU(sim, controller=ctrl)
+        gpu.run(build_workload(imbalanced_spec(), seed=1))
+        throttled = any(
+            any(seg.sm_vf == VF_LOW for seg in segments)
+            for segments in gpu.sm_segments)
+        assert throttled
+
+    def test_imbalance_cheaper_than_global_in_perf_mode(self):
+        sim = tiny_sim()
+        spec = imbalanced_spec(total_blocks=5, iterations=30)
+        base = run_kernel(build_workload(spec, seed=1), sim)
+        from repro.core import EqualizerController
+        g = run_kernel(build_workload(spec, seed=1), sim,
+                       controller=EqualizerController(
+                           "performance", config=sim.equalizer))
+        p = run_kernel_per_sm_vrm(
+            build_workload(spec, seed=1), sim,
+            controller=PerSMEqualizerController("performance",
+                                                config=sim.equalizer))
+        assert p.performance_vs(base) > 1.0
+        assert p.energy_increase_vs(base) <= \
+            g.energy_increase_vs(base) + 1e-9
+
+    def test_memory_kernel_still_gets_mem_boost(self):
+        sim = tiny_sim()
+        spec = memory_spec(total_blocks=24, iterations=30)
+        ctrl = PerSMEqualizerController("performance",
+                                        config=sim.equalizer)
+        gpu = PerSMVRMGPU(sim, controller=ctrl)
+        result = gpu.run(build_workload(spec, seed=1))
+        assert any(seg.mem_vf == VF_HIGH for seg in result.segments)
+
+    def test_decisions_logged(self):
+        sim = tiny_sim()
+        ctrl = PerSMEqualizerController("energy", config=sim.equalizer)
+        run_kernel_per_sm_vrm(build_workload(compute_spec(), seed=1),
+                              sim, controller=ctrl)
+        assert ctrl.decisions

@@ -1,0 +1,127 @@
+"""Tests for the analytical power/energy model."""
+
+import pytest
+
+from repro.config import (GPUConfig, PowerConfig, VF_HIGH, VF_LOW,
+                          VF_NORMAL)
+from repro.power import EnergyModel, OperatingPoint, compute_energy
+from repro.power.dvfs import frequency_ratio, voltage_ratio
+from repro.sim.results import KernelResult, Segment
+
+
+def model():
+    return EnergyModel(PowerConfig(), GPUConfig())
+
+
+def segment(ticks=1000, instructions=0, l2=0, dram=0, sm_vf=VF_NORMAL,
+            mem_vf=VF_NORMAL):
+    return Segment(sm_vf=sm_vf, mem_vf=mem_vf, ticks=ticks,
+                   instructions=instructions, l2_txns=l2, dram_txns=dram)
+
+
+class TestDVFSRelations:
+    def test_voltage_linear_in_frequency(self):
+        assert voltage_ratio(VF_HIGH, 0.15) == pytest.approx(1.15)
+        assert frequency_ratio(VF_LOW, 0.15) == pytest.approx(0.85)
+
+    def test_operating_point_properties(self):
+        op = OperatingPoint(VF_HIGH, VF_LOW, 0.15)
+        assert op.sm_freq == op.sm_volt == pytest.approx(1.15)
+        assert op.mem_freq == pytest.approx(0.85)
+
+    def test_operating_point_validates(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            OperatingPoint(2, 0, 0.15)
+
+
+class TestStaticPower:
+    def test_nominal_breakdown_sums(self):
+        m = model()
+        bd = m.static_breakdown_w(VF_NORMAL, VF_NORMAL)
+        p = PowerConfig()
+        assert bd["constant"] == p.constant_power_w
+        assert bd["sm_leakage"] == pytest.approx(p.sm_leakage_w)
+        assert bd["dram_standby"] == pytest.approx(p.dram_standby_w)
+
+    def test_leakage_scales_linearly_with_voltage(self):
+        m = model()
+        low = m.static_breakdown_w(VF_LOW, VF_NORMAL)["sm_leakage"]
+        high = m.static_breakdown_w(VF_HIGH, VF_NORMAL)["sm_leakage"]
+        assert low == pytest.approx(30.0 * 0.85)
+        assert high == pytest.approx(30.0 * 1.15)
+
+    def test_clock_power_scales_cubically(self):
+        m = model()
+        high = m.static_breakdown_w(VF_HIGH, VF_NORMAL)["sm_clock"]
+        assert high == pytest.approx(16.0 * 1.15 ** 3)
+
+    def test_dram_standby_30pct_higher_at_top_bin(self):
+        m = model()
+        nom = m.static_breakdown_w(VF_NORMAL, VF_NORMAL)["dram_standby"]
+        high = m.static_breakdown_w(VF_NORMAL, VF_HIGH)["dram_standby"]
+        low = m.static_breakdown_w(VF_NORMAL, VF_LOW)["dram_standby"]
+        assert high / nom == pytest.approx(1.30)
+        assert low / nom == pytest.approx(0.70)
+
+    def test_total_static_power(self):
+        m = model()
+        total = m.static_power_w(VF_NORMAL, VF_NORMAL)
+        assert total == pytest.approx(10 + 30 + 11.9 + 16 + 6 + 10)
+
+
+class TestDynamicEnergy:
+    def test_instruction_energy_scales_with_v_squared(self):
+        m = model()
+        nom = m.dynamic_energy_j(segment(instructions=1000))
+        high = m.dynamic_energy_j(segment(instructions=1000,
+                                          sm_vf=VF_HIGH))
+        assert high["sm_dynamic"] / nom["sm_dynamic"] == pytest.approx(
+            1.15 ** 2)
+
+    def test_dram_energy_voltage_independent(self):
+        m = model()
+        nom = m.dynamic_energy_j(segment(dram=100))
+        high = m.dynamic_energy_j(segment(dram=100, mem_vf=VF_HIGH))
+        assert nom["dram_dynamic"] == pytest.approx(high["dram_dynamic"])
+
+    def test_l2_energy_uses_memory_voltage(self):
+        m = model()
+        low = m.dynamic_energy_j(segment(l2=100, mem_vf=VF_LOW))
+        nom = m.dynamic_energy_j(segment(l2=100))
+        assert low["mem_dynamic"] / nom["mem_dynamic"] == pytest.approx(
+            0.85 ** 2)
+
+
+class TestEvaluation:
+    def test_energy_additive_over_segments(self):
+        m = model()
+        one = m.evaluate([segment(ticks=2000, instructions=500)])
+        two = m.evaluate([segment(ticks=1000, instructions=250)] * 2)
+        assert sum(one.values()) == pytest.approx(sum(two.values()))
+
+    def test_longer_run_costs_more(self):
+        m = model()
+        short = sum(m.evaluate([segment(ticks=1000)]).values())
+        long = sum(m.evaluate([segment(ticks=2000)]).values())
+        assert long > short
+
+    def test_average_power_plausible(self):
+        m = model()
+        segs = [segment(ticks=7_000_000, instructions=200_000_000,
+                        l2=1_000_000, dram=1_000_000)]
+        watts = m.average_power_w(segs)
+        assert 80 < watts < 200
+
+    def test_average_power_empty(self):
+        assert model().average_power_w([]) == 0.0
+
+    def test_compute_energy_wraps_result(self):
+        res = KernelResult(kernel="k")
+        res.ticks = 1000
+        res.segments = [segment(ticks=1000, instructions=100)]
+        run = compute_energy(res, PowerConfig(), GPUConfig())
+        assert run.kernel == "k"
+        assert run.energy_j == pytest.approx(
+            sum(run.energy_breakdown.values()))
+        assert run.seconds == pytest.approx(1000 / 700e6)

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import VF_HIGH, VF_LOW, VF_STATES, vf_ratio
+from repro.core.decision import decide
+from repro.core.frequency import FrequencyManager, _clamp
+from repro.core.modes import Action, MAINTAIN
+from repro.experiments.common import geomean
+from repro.sim.cache import SetAssocCache
+from repro.sim.clock import ClockDomain
+from repro.sim.instruction import (OP_ALU, OP_BARRIER, OP_DONE, OP_LOAD,
+                                   OP_STORE, OP_TEX_LOAD)
+from repro.workloads.program import Phase, WarpProgram
+
+lines = st.integers(min_value=0, max_value=200)
+
+
+class ReferenceLRU:
+    """An obviously-correct LRU cache model to test against."""
+
+    def __init__(self, sets, ways):
+        self.sets = sets
+        self.ways = ways
+        self.data = [OrderedDict() for _ in range(sets)]
+
+    def access(self, line):
+        d = self.data[line % self.sets]
+        if line in d:
+            d.move_to_end(line)
+            return True
+        return False
+
+    def fill(self, line):
+        d = self.data[line % self.sets]
+        if line in d:
+            d.move_to_end(line)
+            return None
+        d[line] = True
+        if len(d) > self.ways:
+            victim, _ = d.popitem(last=False)
+            return victim
+        return None
+
+
+@given(st.lists(st.tuples(st.booleans(), lines), max_size=300),
+       st.integers(2, 8), st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_reference_lru(ops, sets, ways):
+    real = SetAssocCache(sets, ways)
+    ref = ReferenceLRU(sets, ways)
+    for is_fill, line in ops:
+        if is_fill:
+            assert real.fill(line) == ref.fill(line)
+        else:
+            assert real.access(line) == ref.access(line)
+    assert real.occupancy() == sum(len(d) for d in ref.data)
+
+
+@given(st.lists(st.tuples(st.booleans(), lines), max_size=200),
+       st.integers(1, 4), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_cache_occupancy_bounded(ops, sets, ways):
+    c = SetAssocCache(sets, ways)
+    for is_fill, line in ops:
+        if is_fill:
+            c.fill(line)
+        else:
+            c.access(line)
+    assert c.occupancy() <= sets * ways
+    assert c.fills - c.evictions == c.occupancy()
+
+
+@given(st.floats(0.5, 2.0), st.integers(1, 5000))
+@settings(max_examples=50, deadline=None)
+def test_clock_cycle_count_tracks_rate(rate, ticks):
+    clk = ClockDomain("x", rate=rate)
+    total = sum(clk.advance() for _ in range(ticks))
+    assert abs(total - rate * ticks) < 1.0
+
+
+@given(st.floats(0.5, 2.0), st.integers(0, 2000), st.integers(0, 2000))
+@settings(max_examples=50, deadline=None)
+def test_clock_bulk_matches_single_within_one(rate, a, b):
+    # One multiply (bulk) and many adds (single-step) round differently
+    # in binary floating point; the counts may differ by one cycle but
+    # never drift further.
+    x = ClockDomain("x", rate=rate)
+    y = ClockDomain("y", rate=rate)
+    tx = x.advance_many(a) + x.advance_many(b)
+    ty = sum(y.advance() for _ in range(a + b))
+    assert abs(tx - ty) <= 1
+
+
+counters = st.floats(min_value=0.0, max_value=48.0, allow_nan=False)
+
+
+@given(counters, counters, counters, counters, st.integers(1, 48))
+@settings(max_examples=200, deadline=None)
+def test_decision_total_function(active, waiting, mem, alu, wcta):
+    d = decide(active, waiting, mem, alu, wcta)
+    assert d.block_delta in (-1, 0, 1)
+    assert not (d.comp_action and d.mem_action)
+    # A block reduction is always accompanied by MemAction (Alg. 1 l.8).
+    if d.block_delta == -1:
+        assert d.mem_action
+
+
+@given(counters, counters, counters, st.integers(1, 48))
+@settings(max_examples=100, deadline=None)
+def test_decision_heavy_memory_dominates(waiting, mem, alu, wcta):
+    d = decide(48.0, waiting, wcta + 1.0 + mem, alu, wcta)
+    assert d.block_delta == -1
+
+
+@given(st.lists(st.sampled_from([-1, 0, 1]), min_size=1, max_size=31),
+       st.sampled_from(VF_STATES), st.sampled_from(VF_STATES))
+@settings(max_examples=100, deadline=None)
+def test_vote_never_leaves_ladder(targets, sm_state, mem_state):
+    fm = FrequencyManager(len(targets))
+    votes = [Action(sm_target=t, mem_target=t) if t != 0
+             else MAINTAIN for t in targets]
+    sm_delta, mem_delta = fm.tally(votes, sm_state, mem_state)
+    assert _clamp(sm_state + sm_delta) in VF_STATES
+    assert _clamp(mem_state + mem_delta) in VF_STATES
+    # A unanimous target is always honoured (or already reached).
+    if all(t == 1 for t in targets) and sm_state < VF_HIGH:
+        assert sm_delta == 1
+    if all(t == -1 for t in targets) and sm_state > VF_LOW:
+        assert sm_delta == -1
+
+
+@given(st.integers(1, 40), st.integers(0, 8), st.integers(1, 3),
+       st.integers(0, 5), st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_program_stream_well_formed(iterations, alu, txns, barrier,
+                                    seed):
+    phases = (Phase(alu_per_mem=alu, txns=txns),)
+    prog = WarpProgram(phases, iterations, block_uid=1, warp_idx=0,
+                       seed=seed, barrier_interval=barrier)
+    mem_ops = 0
+    alu_ops = 0
+    barriers = 0
+    for _ in range(100_000):
+        op, payload = prog.next_op()
+        if op == OP_DONE:
+            break
+        if op in (OP_LOAD, OP_STORE, OP_TEX_LOAD):
+            mem_ops += 1
+            assert len(payload) == txns
+        elif op == OP_ALU:
+            alu_ops += 1
+        elif op == OP_BARRIER:
+            barriers += 1
+    else:
+        raise AssertionError("program did not terminate")
+    assert mem_ops == iterations
+    assert alu_ops == alu * iterations
+    if barrier:
+        assert barriers == iterations // barrier
+    # The stream is exhausted: further calls keep returning DONE.
+    assert prog.next_op() == (OP_DONE, None)
+
+
+@given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_geomean_properties(values):
+    g = geomean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+    doubled = geomean([v * 2 for v in values])
+    assert abs(doubled - 2 * g) < 1e-6 * max(1.0, g)
+
+
+@given(st.sampled_from(VF_STATES), st.floats(0.01, 0.5))
+@settings(max_examples=30, deadline=None)
+def test_vf_ratio_ordering(state, step):
+    assert vf_ratio(VF_LOW, step) < vf_ratio(0, step) < vf_ratio(
+        VF_HIGH, step)
+    assert vf_ratio(state, step) > 0

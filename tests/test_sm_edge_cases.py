@@ -1,0 +1,133 @@
+"""SM edge cases: texture path, store back-pressure, pause races."""
+
+import pytest
+
+from repro.baselines import StaticController
+from repro.core.controller import Controller
+from repro.sim.gpu import GPU, run_kernel
+from repro.workloads import KernelSpec, Phase, build_workload
+
+from helpers import tiny_sim
+
+
+def texture_spec(**overrides):
+    base = dict(
+        name="t-texture", category="memory", wcta=6, max_blocks=4,
+        total_blocks=16, iterations=15, dep_latency=3,
+        phases=(Phase(alu_per_mem=4, txns=1, ws_lines=0, texture=True),))
+    base.update(overrides)
+    return KernelSpec(**base)
+
+
+class TestTexturePath:
+    def test_texture_loads_complete(self):
+        r = run_kernel(build_workload(texture_spec(), seed=1),
+                       tiny_sim())
+        assert r.result.loads == 16 * 6 * 15
+        assert r.result.dram_txns > 0
+
+    def test_texture_bypasses_l1(self):
+        r = run_kernel(build_workload(texture_spec(), seed=1),
+                       tiny_sim())
+        assert r.result.l1_hits + r.result.l1_misses == 0
+
+    def test_texture_pressure_invisible_to_xmem(self):
+        r = run_kernel(build_workload(texture_spec(total_blocks=32,
+                                                   iterations=30),
+                                      seed=1), tiny_sim())
+        f = r.result.state_fractions()
+        assert f["excess_mem"] < 0.05
+        assert f["waiting"] > 0.5
+
+    def test_texture_outstanding_drains_to_zero(self):
+        sim = tiny_sim()
+        gpu = GPU(sim)
+        gpu.run(build_workload(texture_spec(), seed=1))
+        for sm in gpu.sms:
+            assert sm.tex_outstanding == 0
+            assert not sm.tex_pending
+
+
+class TestStores:
+    def test_store_heavy_kernel_completes(self):
+        spec = KernelSpec(
+            name="t-stores", category="memory", wcta=8, max_blocks=4,
+            total_blocks=16, iterations=20,
+            phases=(Phase(alu_per_mem=1, store_fraction=0.8,
+                          ws_lines=0),))
+        r = run_kernel(build_workload(spec, seed=1), tiny_sim())
+        assert r.result.stores > 0
+        assert r.result.loads > 0
+        assert r.result.stores + r.result.loads == 16 * 8 * 20
+
+    def test_writes_counted_in_dram(self):
+        spec = KernelSpec(
+            name="t-wr", category="memory", wcta=4, max_blocks=2,
+            total_blocks=4, iterations=10,
+            phases=(Phase(alu_per_mem=2, store_fraction=1.0,
+                          ws_lines=0),))
+        sim = tiny_sim()
+        gpu = GPU(sim)
+        gpu.run(build_workload(spec, seed=1))
+        # Writes are posted: the kernel retires without waiting for
+        # them, so a tail may still sit in the queues at run end.
+        issued = 4 * 4 * 10
+        assert gpu.memory.writes_dropped <= issued
+        assert gpu.memory.writes_dropped >= 0.8 * issued
+
+
+class AggressivePauser(Controller):
+    """Pause/unpause every epoch to stress the held-warp machinery."""
+
+    mode = "pauser"
+
+    def __init__(self):
+        self.flip = False
+
+    def on_epoch(self, gpu, per_sm):
+        self.flip = not self.flip
+        for sm in gpu.sms:
+            sm.set_target_blocks(1 if self.flip else 4)
+
+
+class TestPausingRaces:
+    def test_pause_with_outstanding_misses(self):
+        spec = KernelSpec(
+            name="t-race", category="memory", wcta=8, max_blocks=4,
+            total_blocks=24, iterations=25,
+            phases=(Phase(alu_per_mem=3, txns=2, ws_lines=0),))
+        sim = tiny_sim()
+        gpu = GPU(sim)
+        result = gpu.run(build_workload(spec, seed=1))
+        # sanity baseline
+        assert result.loads > 0
+        ctrl = AggressivePauser()
+        gpu2 = GPU(tiny_sim(), controller=ctrl)
+        result2 = gpu2.run(build_workload(spec, seed=1))
+        assert result2.loads == result.loads
+        for sm in gpu2.sms:
+            assert sm.resident_warps == 0
+            assert not sm.mshr
+            assert not sm._needs_fetch
+
+    def test_pause_with_barriers(self):
+        spec = KernelSpec(
+            name="t-race-bar", category="compute", wcta=4, max_blocks=4,
+            total_blocks=16, iterations=12, barrier_interval=3,
+            phases=(Phase(alu_per_mem=6, ws_lines=4, shared_ws=True),))
+        gpu = GPU(tiny_sim(), controller=AggressivePauser())
+        result = gpu.run(build_workload(spec, seed=1))
+        assert result.blocks_run == 16
+        for sm in gpu.sms:
+            assert sm.resident_warps == 0
+
+    def test_static_one_block_runs_sequentially(self):
+        spec = KernelSpec(
+            name="t-seq", category="compute", wcta=4, max_blocks=4,
+            total_blocks=8, iterations=10,
+            phases=(Phase(alu_per_mem=5, ws_lines=4, shared_ws=True),))
+        gpu = GPU(tiny_sim(), controller=StaticController(blocks=1))
+        result = gpu.run(build_workload(spec, seed=1))
+        assert result.blocks_run == 8
+        for e in result.epochs:
+            assert e.blocks <= 1.0 + 1e-9

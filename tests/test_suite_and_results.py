@@ -1,0 +1,175 @@
+"""Tests for the 27-kernel suite definitions and result containers."""
+
+import pytest
+
+from repro.config import GPUConfig, VF_HIGH, VF_LOW, VF_NORMAL
+from repro.errors import WorkloadError
+from repro.sim.results import EpochRecord, KernelResult, RunResult, Segment
+from repro.workloads import (ALL_KERNELS, CACHE_KERNELS, COMPUTE_KERNELS,
+                             MEMORY_KERNELS, UNSATURATED_KERNELS,
+                             build_workload, kernel_by_name,
+                             kernels_in_category)
+from repro.workloads.spec import KernelSpec, SyntheticWorkload
+
+
+class TestSuiteShape:
+    def test_27_kernels(self):
+        assert len(ALL_KERNELS) == 27
+
+    def test_category_counts_match_paper_figures(self):
+        assert len(COMPUTE_KERNELS) == 9
+        assert len(MEMORY_KERNELS) == 5
+        assert len(CACHE_KERNELS) == 7
+        assert len(UNSATURATED_KERNELS) == 6
+
+    def test_names_unique(self):
+        names = [k.name for k in ALL_KERNELS]
+        assert len(set(names)) == 27
+
+    def test_table2_geometries(self):
+        # Spot-check Table II rows.
+        assert kernel_by_name("cutcp").wcta == 6
+        assert kernel_by_name("cutcp").max_blocks == 8
+        assert kernel_by_name("bfs-2").wcta == 16
+        assert kernel_by_name("lbm").max_blocks == 7
+        assert kernel_by_name("mri-g-1").wcta == 2
+        assert kernel_by_name("sgemm").wcta == 4
+
+    def test_every_kernel_fits_one_block(self):
+        cfg = GPUConfig()
+        for k in ALL_KERNELS:
+            assert k.wcta <= cfg.max_warps_per_sm
+
+    def test_special_behaviours_present(self):
+        assert kernel_by_name("bfs-2").invocations == 12
+        assert kernel_by_name("bfs-2").variant is not None
+        assert kernel_by_name("prtcl-2").imbalance_factor > 1
+        assert any(p.texture for p in kernel_by_name("leuko-1").phases)
+        assert len(kernel_by_name("mri-g-1").phases) == 5
+        assert len(kernel_by_name("spmv").phases) == 2
+
+    def test_phase_fractions_sum_to_one(self):
+        for k in ALL_KERNELS:
+            assert sum(p.fraction for p in k.phases) == pytest.approx(
+                1.0, abs=1e-6)
+
+    def test_lookup_helpers(self):
+        assert kernel_by_name("kmn").category == "cache"
+        assert kernels_in_category("memory") == MEMORY_KERNELS
+        with pytest.raises(WorkloadError):
+            kernel_by_name("nope")
+        with pytest.raises(WorkloadError):
+            kernels_in_category("gpu")
+
+
+class TestSpecMechanics:
+    def test_scaled_iterations(self):
+        spec = kernel_by_name("cutcp")
+        half = spec.scaled(0.5)
+        assert half.iterations == spec.iterations // 2
+        assert half.name == spec.name
+
+    def test_scale_floor_one(self):
+        spec = kernel_by_name("cutcp")
+        assert spec.scaled(1e-9).iterations == 1
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            kernel_by_name("cutcp").scaled(0)
+
+    def test_bfs_variant_switches_personality(self):
+        spec = kernel_by_name("bfs-2")
+        i0, p0, b0 = spec.resolved(0)
+        i8, p8, b8 = spec.resolved(8)
+        assert p0 != p8
+        assert b8 < b0
+        assert p8[0].ws_lines > 0     # locality phase
+        assert p0[0].ws_lines == 0    # streaming phase
+
+    def test_block_factories_shape(self):
+        spec = kernel_by_name("lavaMD")
+        wl = build_workload(spec)
+        factories = wl.block_factories(0)
+        assert len(factories) == spec.total_blocks
+        programs = factories[0]()
+        assert len(programs) == spec.wcta
+
+    def test_imbalance_gives_block0_more_work(self):
+        spec = kernel_by_name("prtcl-2")
+        wl = build_workload(spec)
+        factories = wl.block_factories(0)
+        p0 = factories[0]()[0]
+        p1 = factories[1]()[0]
+        assert p0.total_iterations > p1.total_iterations
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            KernelSpec(name="x", category="turbo", wcta=4, max_blocks=2,
+                       total_blocks=4, iterations=5)
+        with pytest.raises(WorkloadError):
+            KernelSpec(name="x", category="compute", wcta=0,
+                       max_blocks=2, total_blocks=4, iterations=5)
+        with pytest.raises(WorkloadError):
+            KernelSpec(name="x", category="compute", wcta=4,
+                       max_blocks=2, total_blocks=4, iterations=5,
+                       imbalance_factor=0.5)
+
+    def test_workload_protocol(self):
+        spec = kernel_by_name("sad-1")
+        wl = SyntheticWorkload(spec)
+        assert wl.name == "sad-1"
+        assert wl.invocations == 1
+        assert wl.wcta(0) == spec.wcta
+        assert wl.max_blocks(0) == spec.max_blocks
+
+
+class TestResultContainers:
+    def make_result(self):
+        r = KernelResult(kernel="k")
+        r.ticks = 100
+        r.instructions = 500
+        r.l1_hits = 30
+        r.l1_misses = 10
+        r.tot_active = 100
+        r.tot_waiting = 50
+        r.tot_xmem = 20
+        r.tot_xalu = 10
+        r.tot_samples = 10
+        r.segments = [
+            Segment(VF_NORMAL, VF_NORMAL, 60, 300, 5, 5),
+            Segment(VF_HIGH, VF_LOW, 40, 200, 5, 5),
+        ]
+        return r
+
+    def test_derived_metrics(self):
+        r = self.make_result()
+        assert r.l1_hit_rate == pytest.approx(0.75)
+        assert r.ipc == pytest.approx(5.0)
+
+    def test_state_fractions_sum_to_one(self):
+        f = self.make_result().state_fractions()
+        assert sum(f.values()) == pytest.approx(1.0)
+        assert f["waiting"] == pytest.approx(0.5)
+
+    def test_vf_residency(self):
+        res = self.make_result().vf_residency()
+        assert res[(VF_NORMAL, VF_NORMAL)] == 60
+        assert res[(VF_HIGH, VF_LOW)] == 40
+
+    def test_run_result_ratios(self):
+        base = RunResult(self.make_result(), seconds=1.0, energy_j=100.0,
+                         energy_breakdown={})
+        faster = self.make_result()
+        faster.ticks = 80
+        run = RunResult(faster, seconds=0.8, energy_j=90.0,
+                        energy_breakdown={})
+        assert run.performance_vs(base) == pytest.approx(1.25)
+        assert run.energy_efficiency_vs(base) == pytest.approx(100 / 90)
+        assert run.energy_increase_vs(base) == pytest.approx(-0.1)
+        assert run.energy_savings_vs(base) == pytest.approx(0.1)
+
+    def test_epoch_record_fields(self):
+        e = EpochRecord(index=1, invocation=0, tick=10, sm_cycle=10,
+                        active=4.0, waiting=2.0, xmem=1.0, xalu=0.5,
+                        blocks=2.0, sm_vf=0, mem_vf=0)
+        assert e.index == 1 and e.blocks == 2.0

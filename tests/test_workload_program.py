@@ -1,0 +1,205 @@
+"""Unit tests for warp programs, phases, and address models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.instruction import (OP_ALU, OP_BARRIER, OP_DONE, OP_LOAD,
+                                   OP_STORE, OP_TEX_LOAD)
+from repro.workloads.addresses import (MixedAddresses,
+                                       SharedWorkingSetAddresses,
+                                       StreamingAddresses,
+                                       WorkingSetAddresses, block_base,
+                                       make_address_model, warp_base)
+from repro.workloads.program import Phase, WarpProgram
+
+
+def drain(program, limit=100_000):
+    """Collect the full op stream of a program."""
+    ops = []
+    for _ in range(limit):
+        op = program.next_op()
+        ops.append(op)
+        if op[0] == OP_DONE:
+            return ops
+    raise AssertionError("program did not terminate")
+
+
+def make_program(phases, iterations=5, barrier_interval=0, dep_latency=6,
+                 seed=1):
+    return WarpProgram(phases, iterations, block_uid=1, warp_idx=0,
+                       seed=seed, barrier_interval=barrier_interval,
+                       dep_latency=dep_latency)
+
+
+class TestPhaseValidation:
+    def test_defaults_valid(self):
+        Phase()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(fraction=0.0), dict(fraction=1.5),
+        dict(alu_per_mem=-1),
+        dict(store_fraction=1.5),
+        dict(alu_per_mem=2, alu_jitter=3),
+        dict(stream_fraction=-0.1),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(WorkloadError):
+            Phase(**kwargs)
+
+
+class TestWarpProgram:
+    def test_terminates_with_done(self):
+        ops = drain(make_program((Phase(alu_per_mem=3),), iterations=4))
+        assert ops[-1][0] == OP_DONE
+
+    def test_alu_count_between_loads(self):
+        ops = drain(make_program((Phase(alu_per_mem=3),), iterations=4))
+        loads = [o for o in ops if o[0] == OP_LOAD]
+        alus = [o for o in ops if o[0] == OP_ALU]
+        assert len(loads) == 4
+        assert len(alus) == 12
+
+    def test_zero_alu_phase_is_pure_memory(self):
+        ops = drain(make_program((Phase(alu_per_mem=0),), iterations=6))
+        kinds = {o[0] for o in ops}
+        assert OP_ALU not in kinds
+        assert sum(1 for o in ops if o[0] == OP_LOAD) == 6
+
+    def test_load_payload_is_line_tuple(self):
+        ops = drain(make_program((Phase(alu_per_mem=1, txns=3),),
+                                 iterations=2))
+        loads = [o for o in ops if o[0] == OP_LOAD]
+        for _, payload in loads:
+            assert isinstance(payload, tuple)
+            assert len(payload) == 3
+
+    def test_store_fraction_yields_stores(self):
+        ops = drain(make_program((Phase(alu_per_mem=0,
+                                        store_fraction=1.0),),
+                                 iterations=5))
+        assert sum(1 for o in ops if o[0] == OP_STORE) == 5
+
+    def test_texture_phase(self):
+        ops = drain(make_program((Phase(alu_per_mem=0, texture=True),),
+                                 iterations=3))
+        assert sum(1 for o in ops if o[0] == OP_TEX_LOAD) == 3
+
+    def test_barrier_interval(self):
+        ops = drain(make_program((Phase(alu_per_mem=1),), iterations=6,
+                                 barrier_interval=2))
+        assert sum(1 for o in ops if o[0] == OP_BARRIER) == 3
+
+    def test_phase_transition_changes_mix(self):
+        phases = (Phase(fraction=0.5, alu_per_mem=0),
+                  Phase(fraction=0.5, alu_per_mem=4))
+        ops = drain(make_program(phases, iterations=10))
+        alus = sum(1 for o in ops if o[0] == OP_ALU)
+        assert alus == 5 * 4
+
+    def test_total_memory_ops_equals_iterations(self):
+        phases = (Phase(fraction=0.3, alu_per_mem=2),
+                  Phase(fraction=0.7, alu_per_mem=5))
+        ops = drain(make_program(phases, iterations=20))
+        mems = sum(1 for o in ops
+                   if o[0] in (OP_LOAD, OP_STORE, OP_TEX_LOAD))
+        assert mems == 20
+
+    def test_jitter_is_deterministic_per_seed(self):
+        mk = lambda seed: drain(make_program(
+            (Phase(alu_per_mem=6, alu_jitter=2),), iterations=10,
+            seed=seed))
+        assert mk(5) == mk(5)
+        assert mk(5) != mk(6)
+
+    def test_dep_latency_attribute(self):
+        p = make_program((Phase(),), dep_latency=4)
+        assert p.dep_latency == 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(WorkloadError):
+            make_program((Phase(),), iterations=0)
+        with pytest.raises(WorkloadError):
+            WarpProgram((), 5, 1, 0, 1)
+        with pytest.raises(WorkloadError):
+            make_program((Phase(),), dep_latency=0)
+
+
+class TestAddressModels:
+    def test_streaming_never_repeats(self):
+        m = StreamingAddresses(1000, txns=2)
+        seen = set()
+        for _ in range(50):
+            lines = m.next()
+            assert len(lines) == 2
+            for line in lines:
+                assert line not in seen
+                seen.add(line)
+
+    def test_working_set_cycles_within_footprint(self):
+        m = WorkingSetAddresses(0, ws_lines=4, txns=1)
+        lines = [m.next()[0] for _ in range(12)]
+        assert set(lines) == {0, 1, 2, 3}
+
+    def test_working_set_multi_txn_wraps(self):
+        m = WorkingSetAddresses(0, ws_lines=4, txns=3)
+        all_lines = set()
+        for _ in range(8):
+            all_lines.update(m.next())
+        assert all_lines == {0, 1, 2, 3}
+
+    def test_working_set_rejects_txns_over_ws(self):
+        with pytest.raises(WorkloadError):
+            WorkingSetAddresses(0, ws_lines=2, txns=3)
+
+    def test_shared_ws_offsets_by_warp(self):
+        a = SharedWorkingSetAddresses(0, 8, warp_idx=0)
+        b = SharedWorkingSetAddresses(0, 8, warp_idx=1)
+        assert a.next() != b.next()
+        union = set()
+        for _ in range(8):
+            union.update(a.next())
+            union.update(b.next())
+        assert union <= set(range(8))
+
+    def test_mixed_addresses_blend(self):
+        ws = WorkingSetAddresses(0, 4)
+        stream = StreamingAddresses(10_000)
+        m = MixedAddresses(ws, stream, fraction=0.5, seed=3)
+        outs = [m.next()[0] for _ in range(200)]
+        ws_hits = sum(1 for line in outs if line < 4)
+        assert 50 < ws_hits < 150
+
+    def test_mixed_rejects_bad_fraction(self):
+        with pytest.raises(WorkloadError):
+            MixedAddresses(None, None, 1.5, seed=0)
+
+    def test_region_partitioning(self):
+        assert block_base(1) != block_base(2)
+        assert warp_base(1, 0) != warp_base(1, 1)
+        # Warp regions never overlap block-region boundaries.
+        assert warp_base(1, 47) < block_base(2)
+
+    def test_make_address_model_dispatch(self):
+        assert isinstance(
+            make_address_model(Phase(ws_lines=0), 1, 0),
+            StreamingAddresses)
+        assert isinstance(
+            make_address_model(Phase(ws_lines=4), 1, 0),
+            WorkingSetAddresses)
+        assert isinstance(
+            make_address_model(Phase(ws_lines=4, shared_ws=True), 1, 0),
+            SharedWorkingSetAddresses)
+        assert isinstance(
+            make_address_model(Phase(ws_lines=4, stream_fraction=0.2),
+                               1, 0),
+            MixedAddresses)
+
+    def test_shared_model_same_base_across_warps(self):
+        m0 = make_address_model(Phase(ws_lines=4, shared_ws=True), 7, 0)
+        m1 = make_address_model(Phase(ws_lines=4, shared_ws=True), 7, 1)
+        lines0 = set()
+        lines1 = set()
+        for _ in range(8):
+            lines0.update(m0.next())
+            lines1.update(m1.next())
+        assert lines0 == lines1
