@@ -13,6 +13,14 @@ Run with::
 Scale down for a quick pass::
 
     REPRO_BENCH_SCALE=0.3 pytest benchmarks/ --benchmark-only
+
+The session cache sits on the parallel experiment engine, so runs can
+fan out over worker processes and persist results in the on-disk run
+cache -- a warm second pass times only report rendering::
+
+    REPRO_BENCH_JOBS=4 REPRO_CACHE_DIR=.repro-cache pytest benchmarks/
+
+Set ``REPRO_BENCH_CACHE=0`` to force cold simulations.
 """
 
 import os
@@ -22,17 +30,31 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from repro.experiments.common import RunCache  # noqa: E402
+from repro.engine import DEFAULT_CACHE_DIR, Engine  # noqa: E402
+from repro.experiments.common import (RunCache,  # noqa: E402
+                                      default_sim)
 
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
+def bench_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def bench_cache_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+
+
 @pytest.fixture(scope="session")
 def cache():
-    """One run cache shared by every benchmark in the session."""
-    return RunCache(scale=bench_scale())
+    """One engine-backed run cache shared by every benchmark."""
+    engine = Engine(
+        sim=default_sim(), scale=bench_scale(), jobs=bench_jobs(),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
+        use_cache=bench_cache_enabled())
+    return RunCache(engine=engine)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -22,10 +22,11 @@ def main() -> int:
     print(concurrent_kernels.report(data))
     perf = data["performance"]
     gain = (perf["per_sm"]["speedup"] / perf["global"]["speedup"] - 1)
+    energy_points = (perf["per_sm"]["energy_delta"]
+                     - perf["global"]["energy_delta"]) * 100
     print(f"\nper-SM regulators vs chip-wide (performance mode): "
           f"{gain:+.1%} speedup at "
-          f"{(perf['per_sm']['energy_delta'] - perf['global']['energy_delta']) * 100:+.1f} "
-          f"points of energy")
+          f"{energy_points:+.1f} points of energy")
     return 0
 
 

@@ -5,14 +5,23 @@ Usage::
     python -m repro tables
     python -m repro fig7 [--scale 0.5] [--kernels cutcp,kmn]
     python -m repro headline --json results/
-    python -m repro all
+    python -m repro all --jobs 4
+
+Regeneration is a plan/execute/render pipeline: the experiment modules
+declare the (kernel, controller) simulation jobs they need, the engine
+resolves them against its on-disk cache and fans the misses out over
+``--jobs`` worker processes, and only then do the harnesses render
+their reports from the warm cache.  The report text is therefore
+byte-identical whatever ``--jobs`` is; the engine's progress summary
+goes to stderr.
 """
 
 import argparse
-import json
 import os
 import sys
 
+from .engine import DEFAULT_CACHE_DIR, Engine, collect_jobs, dump_json
+from .errors import ReproError
 from .experiments import common
 from .experiments import (ablations, boost_comparison,
                           concurrent_kernels, fig1_sweeps,
@@ -46,6 +55,26 @@ _KERNEL_AWARE = {"fig1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
                  "headline", "boost"}
 
 
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The engine flags shared with ``python -m repro.engine``."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation fan-out "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk run cache entirely")
+    parser.add_argument("--cache-dir", type=str,
+                        default=DEFAULT_CACHE_DIR, metavar="DIR",
+                        help="on-disk run cache location "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+
+
+def build_engine(args, sim=None) -> Engine:
+    """An engine configured from parsed CLI flags."""
+    return Engine(sim=sim or common.default_sim(), scale=args.scale,
+                  jobs=max(1, args.jobs), cache_dir=args.cache_dir,
+                  use_cache=not args.no_cache)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="equalizer-repro",
@@ -61,12 +90,35 @@ def main(argv=None) -> int:
     parser.add_argument("--json", type=str, default=None, metavar="DIR",
                         help="also dump each experiment's raw data as "
                              "<DIR>/<experiment>.json")
+    add_engine_arguments(parser)
     args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
-    cache = common.RunCache(scale=args.scale)
+
+def _run(args) -> int:
+    cache = common.RunCache(engine=build_engine(args))
     kernels = args.kernels.split(",") if args.kernels else None
     names = ([args.experiment] if args.experiment != "all"
              else sorted(EXPERIMENTS))
+
+    # Plan: union of the jobs the requested experiments declare, then
+    # resolve them (cache hits + parallel fan-out) before rendering.
+    plan = collect_jobs([EXPERIMENTS[n] for n in names],
+                        kernels=kernels, sim=cache.sim)
+    if plan:
+        report = cache.execute(plan)
+        print(report.summary(), file=sys.stderr)
+        for failure in report.failures:
+            print(f"FAILED {failure.job.label()} "
+                  f"({failure.attempts} attempts):\n{failure.error}",
+                  file=sys.stderr)
+        if report.failures:
+            return 1
+
     for name in names:
         module = EXPERIMENTS[name]
         if name == "tables":
@@ -89,8 +141,7 @@ def main(argv=None) -> int:
             os.makedirs(args.json, exist_ok=True)
             path = os.path.join(args.json, f"{name}.json")
             with open(path, "w") as f:
-                json.dump(data, f, indent=2, sort_keys=True,
-                          default=str)
+                dump_json(data, f, indent=2, sort_keys=True)
     return 0
 
 

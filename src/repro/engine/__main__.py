@@ -1,0 +1,107 @@
+"""Engine CLI: benchmark regression guard and cache inspection.
+
+Usage::
+
+    python -m repro.engine check --against results/reference.json
+    python -m repro.engine check --against results/reference.json --update
+    python -m repro.engine cache-stats
+"""
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from . import check as check_mod
+from .cache import DEFAULT_CACHE_DIR, DiskCache
+from .executor import Engine
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk run cache")
+    parser.add_argument("--cache-dir", type=str,
+                        default=DEFAULT_CACHE_DIR, metavar="DIR",
+                        help="on-disk run cache location")
+
+
+def run_check(args) -> int:
+    from ..experiments.common import RunCache, default_sim
+
+    reference = check_mod.load_reference(args.against)
+    kernels = reference["kernels"] or None
+    engine = Engine(sim=default_sim(), scale=reference["scale"],
+                    jobs=max(1, args.jobs), cache_dir=args.cache_dir,
+                    use_cache=not args.no_cache)
+    cache = RunCache(engine=engine)
+
+    plan = check_mod.guard_jobs(kernels=kernels, sim=cache.sim)
+    report = cache.execute(plan)
+    print(report.summary(), file=sys.stderr)
+    report.raise_on_failure()
+
+    measured = check_mod.reference_metrics(cache, kernels)
+    if args.update:
+        check_mod.write_reference(args.against, reference["scale"],
+                                  reference["kernels"], measured)
+        print(f"reference updated: {args.against}")
+        return 0
+    problems = check_mod.compare(measured, reference["metrics"],
+                                 args.tolerance)
+    checked = sum(len(section) for section in
+                  reference["metrics"].values())
+    if problems:
+        print(f"benchmark guard FAILED ({len(problems)} of {checked} "
+              f"metrics drifted):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"benchmark guard passed: {checked} metrics within "
+          f"{args.tolerance * 100:.0f}% of {args.against}")
+    return 0
+
+
+def run_cache_stats(args) -> int:
+    stats = DiskCache(args.cache_dir).stats()
+    print(f"{args.cache_dir}: {stats['entries']} entries, "
+          f"{stats['bytes'] / 1e6:.1f} MB")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Experiment-engine utilities.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check_p = sub.add_parser(
+        "check", help="compare headline/fig7/fig8 geomeans to a "
+                      "checked-in reference")
+    check_p.add_argument("--against", required=True, metavar="FILE",
+                         help="reference JSON (see results/)")
+    check_p.add_argument("--tolerance", type=float,
+                         default=check_mod.DEFAULT_TOLERANCE,
+                         help="relative drift allowed per metric "
+                              "(default: 0.02)")
+    check_p.add_argument("--update", action="store_true",
+                         help="rewrite the reference from current code")
+    _add_engine_flags(check_p)
+
+    stats_p = sub.add_parser("cache-stats",
+                             help="size of the on-disk run cache")
+    stats_p.add_argument("--cache-dir", type=str,
+                         default=DEFAULT_CACHE_DIR, metavar="DIR")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "check":
+            return run_check(args)
+        return run_cache_stats(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

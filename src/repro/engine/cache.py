@@ -1,0 +1,102 @@
+"""On-disk, content-addressed store of :class:`RunResult` payloads.
+
+Layout: ``<root>/<digest[:2]>/<digest>.json``, one JSON document per
+run.  The digest (see :mod:`repro.engine.fingerprint`) already encodes
+everything that determines the result, so entries never need explicit
+invalidation -- a config or code change simply addresses different
+files.  A small ``meta`` block (kernel, key, scale) is stored alongside
+the payload for human inspection only.
+
+Writes are atomic (temp file + :func:`os.replace`) so concurrent
+processes sharing a cache directory can only ever observe complete
+entries.  Corrupt or truncated entries are treated as misses and
+removed.
+"""
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..errors import SerializationError
+from ..sim.results import RunResult, encode_controller_key
+from .fingerprint import CACHE_FORMAT
+from .jobs import Job
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class DiskCache:
+    """Content-addressed RunResult store under one directory."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest + ".json")
+
+    def get(self, digest: str) -> Optional[RunResult]:
+        """The cached result for a digest, or None on miss."""
+        path = self._path(digest)
+        try:
+            with open(path, "r") as f:
+                payload = json.load(f)
+            if payload.get("format") != CACHE_FORMAT:
+                raise SerializationError(
+                    f"cache format {payload.get('format')!r}")
+            return RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, SerializationError):
+            # A corrupt entry is a miss; drop it so it gets rewritten.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, digest: str, job: Job, scale: float,
+            result: RunResult, seconds: float) -> None:
+        """Store one result atomically."""
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "meta": {
+                "kernel": job.kernel,
+                "key": encode_controller_key(job.key),
+                "scale": scale,
+                "run_seconds": seconds,
+            },
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> Dict[str, int]:
+        """Entry count and total bytes, for reporting."""
+        entries = 0
+        size = 0
+        if not os.path.isdir(self.root):
+            return {"entries": 0, "bytes": 0}
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json"):
+                    entries += 1
+                    try:
+                        size += os.path.getsize(
+                            os.path.join(dirpath, name))
+                    except OSError:
+                        pass
+        return {"entries": entries, "bytes": size}

@@ -1,0 +1,106 @@
+"""Benchmark regression guard: compare key geomeans to a reference.
+
+``python -m repro.engine check --against results/reference.json``
+regenerates the headline, Figure 7, and Figure 8 summary metrics at the
+scale and kernel subset recorded in the reference file and fails
+(non-zero exit) if any metric drifts more than the tolerance from its
+checked-in value.  Simulations are deterministic, so on healthy code
+the comparison is exact; the +/-2% default tolerance only absorbs
+floating-point reassociation across platforms.
+
+``--update`` rewrites the reference from the current code, which is how
+an intentional behaviour change is recorded (review the diff!).
+"""
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from ..errors import EngineError
+
+#: Relative drift tolerated before the guard fails.
+DEFAULT_TOLERANCE = 0.02
+
+#: Reference-file schema version.
+REFERENCE_FORMAT = 1
+
+
+def reference_metrics(cache, kernels: Optional[List[str]] = None
+                      ) -> Dict[str, Dict[str, float]]:
+    """The guarded geomeans, computed from a (warm) run cache."""
+    from ..experiments import (fig7_performance_mode, fig8_energy_mode,
+                               headline)
+
+    head = headline.run(cache, kernels)
+    fig7 = fig7_performance_mode.run(cache, kernels)
+    fig8 = fig8_energy_mode.run(cache, kernels)
+    return {
+        "headline": {f"{label}_speedup": entry["speedup"]
+                     for label, entry in head.items()},
+        "fig7": {f"{label}_speedup_gmean": entry["speedup_gmean"]
+                 for label, entry in fig7["summary"].items()},
+        "fig8": {key: value
+                 for key, value in fig8["summary"].items()
+                 if key.endswith("_gmean")},
+    }
+
+
+def guard_jobs(kernels: Optional[List[str]] = None, sim=None):
+    """Union of the simulation jobs the guarded experiments need."""
+    from ..experiments import (fig7_performance_mode, fig8_energy_mode,
+                               headline)
+    from .jobs import collect_jobs
+
+    return collect_jobs([headline, fig7_performance_mode,
+                         fig8_energy_mode], kernels=kernels, sim=sim)
+
+
+def load_reference(path: str) -> Dict:
+    try:
+        with open(path, "r") as f:
+            reference = json.load(f)
+    except OSError as exc:
+        raise EngineError(f"cannot read reference {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise EngineError(f"reference {path} is not valid JSON: {exc}")
+    if reference.get("format") != REFERENCE_FORMAT:
+        raise EngineError(
+            f"unsupported reference format in {path}: "
+            f"{reference.get('format')!r}")
+    for field in ("scale", "kernels", "metrics"):
+        if field not in reference:
+            raise EngineError(f"reference {path} is missing {field!r}")
+    return reference
+
+
+def write_reference(path: str, scale: float, kernels: List[str],
+                    metrics: Dict) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump({"format": REFERENCE_FORMAT, "scale": scale,
+                   "kernels": kernels, "metrics": metrics},
+                  f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def compare(measured: Dict, reference: Dict,
+            tolerance: float) -> List[str]:
+    """Human-readable drift lines; empty means the guard passes."""
+    problems = []
+    for section, expected in reference.items():
+        got = measured.get(section, {})
+        for metric, ref_value in expected.items():
+            if metric not in got:
+                problems.append(f"{section}.{metric}: missing from "
+                                f"measured metrics")
+                continue
+            value = got[metric]
+            drift = abs(value / ref_value - 1.0)
+            if drift > tolerance:
+                problems.append(
+                    f"{section}.{metric}: measured {value:.4f} vs "
+                    f"reference {ref_value:.4f} "
+                    f"({drift * 100:+.2f}% > {tolerance * 100:.0f}%)")
+    return problems

@@ -1,0 +1,272 @@
+"""Plan/execute core of the experiment engine.
+
+:class:`Engine` owns one (SimConfig, scale) pair plus the two cache
+layers -- an in-process memory dict and the content-addressed
+:class:`~repro.engine.cache.DiskCache` -- and executes job plans over a
+``concurrent.futures.ProcessPoolExecutor``.  Per-job wall time and
+failures are captured in an :class:`ExecutionReport`; a job whose
+worker crashes (the process dies) or raises is retried exactly once on
+a fresh pool before being reported as failed.
+
+Simulations are deterministic, so parallel execution changes only who
+computes a result, never the result: a plan executed with ``workers=4``
+populates byte-identical caches to a serial pass.
+"""
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SimConfig
+from ..errors import EngineError
+from ..sim import RunResult, run_kernel
+from ..workloads import build_workload, kernel_by_name
+from .cache import DEFAULT_CACHE_DIR, DiskCache
+from .fingerprint import job_digest
+from .jobs import ControllerKey, Job, make_controller
+
+
+def execute_job(kernel: str, key: ControllerKey, scale: float,
+                sim: SimConfig) -> Tuple[RunResult, float]:
+    """Run one simulation; the process-pool worker entry point."""
+    start = time.perf_counter()
+    workload = build_workload(kernel_by_name(kernel), scale=scale,
+                              seed=sim.seed)
+    controller = make_controller(key, sim.equalizer)
+    result = run_kernel(workload, sim, controller=controller)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job during :meth:`Engine.execute`."""
+
+    job: Job
+    #: "memory", "disk", or "run".
+    source: str
+    seconds: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregate of one :meth:`Engine.execute` call."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def planned(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes
+                   if o.ok and o.source in ("memory", "disk"))
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes
+                   if o.ok and o.source == "run")
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary(self) -> str:
+        line = (f"engine: {self.planned} jobs, {self.hits} cached, "
+                f"{self.executed} executed with {self.workers} "
+                f"worker(s) in {self.wall_seconds:.1f}s")
+        if self.failures:
+            line += f", {len(self.failures)} FAILED"
+        return line
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            detail = "; ".join(
+                f"{o.job.label()}: {o.error.strip().splitlines()[-1]}"
+                for o in self.failures)
+            raise EngineError(
+                f"{len(self.failures)} job(s) failed after retry: "
+                f"{detail}")
+
+
+class Engine:
+    """Executes simulation jobs against a two-level run cache."""
+
+    def __init__(self, sim: Optional[SimConfig] = None,
+                 scale: float = 1.0, jobs: int = 1,
+                 cache_dir: str = DEFAULT_CACHE_DIR,
+                 use_cache: bool = True, worker=None) -> None:
+        if jobs < 1:
+            raise EngineError("jobs must be >= 1")
+        self.sim = sim or SimConfig()
+        self.scale = scale
+        self.jobs = jobs
+        self.disk = DiskCache(cache_dir) if use_cache else None
+        self._worker = worker or execute_job
+        self._memory: Dict[Tuple[str, ControllerKey], RunResult] = {}
+        self._controllers: Dict[Tuple[str, ControllerKey], object] = {}
+        self._digests: Dict[Job, str] = {}
+
+    # -- cache plumbing ------------------------------------------------
+
+    def digest(self, job: Job) -> str:
+        """Content address of a job under this engine's config."""
+        cached = self._digests.get(job)
+        if cached is None:
+            cached = job_digest(job, kernel_by_name(job.kernel),
+                                self.sim, self.scale)
+            self._digests[job] = cached
+        return cached
+
+    def lookup(self, job: Job) -> Tuple[Optional[RunResult], str]:
+        """(result, source) with source "memory"/"disk"/"miss"."""
+        hit = self._memory.get((job.kernel, job.key))
+        if hit is not None:
+            return hit, "memory"
+        if self.disk is not None:
+            hit = self.disk.get(self.digest(job))
+            if hit is not None:
+                self._memory[(job.kernel, job.key)] = hit
+                return hit, "disk"
+        return None, "miss"
+
+    def _store(self, job: Job, result: RunResult,
+               seconds: float) -> None:
+        self._memory[(job.kernel, job.key)] = result
+        if self.disk is not None:
+            self.disk.put(self.digest(job), job, self.scale, result,
+                          seconds)
+
+    # -- single-run façade path ----------------------------------------
+
+    def run(self, kernel: str, key: ControllerKey) -> RunResult:
+        """Run (or recall) one kernel under one controller key."""
+        job = Job(kernel=kernel, key=tuple(key))
+        hit, _ = self.lookup(job)
+        if hit is not None:
+            return hit
+        return self._run_inline(job)
+
+    def _run_inline(self, job: Job) -> RunResult:
+        """Run a job in this process, keeping its controller around."""
+        workload = build_workload(kernel_by_name(job.kernel),
+                                  scale=self.scale, seed=self.sim.seed)
+        controller = make_controller(job.key, self.sim.equalizer)
+        start = time.perf_counter()
+        result = run_kernel(workload, self.sim, controller=controller)
+        self._store(job, result, time.perf_counter() - start)
+        self._controllers[(job.kernel, job.key)] = controller
+        return result
+
+    def controller(self, kernel: str, key: ControllerKey):
+        """The controller instance for a run (for trace inspection).
+
+        Results recalled from disk or computed in a worker have no
+        live controller in this process; the run is repeated inline --
+        simulations are deterministic, so the state matches.
+        """
+        if (kernel, tuple(key)) not in self._controllers:
+            self._run_inline(Job(kernel=kernel, key=tuple(key)))
+        return self._controllers[(kernel, tuple(key))]
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- plan execution ------------------------------------------------
+
+    def execute(self, plan: List[Job],
+                workers: Optional[int] = None) -> ExecutionReport:
+        """Resolve every job in the plan, fanning misses out.
+
+        Cache hits are resolved first; the remaining jobs run on a
+        process pool (``workers`` > 1) or inline.  Every job is
+        retried once if its first attempt crashes the worker process
+        or raises; a second failure lands in the report's failures.
+        """
+        workers = workers or self.jobs
+        start = time.perf_counter()
+        by_job: Dict[Job, JobOutcome] = {}
+        misses: List[Job] = []
+        for job in plan:
+            if job in by_job:
+                continue
+            hit, source = self.lookup(job)
+            if hit is not None:
+                by_job[job] = JobOutcome(job=job, source=source)
+            else:
+                misses.append(job)
+        if misses:
+            if workers > 1:
+                self._execute_pool(misses, workers, by_job)
+            else:
+                self._execute_serial(misses, by_job)
+        report = ExecutionReport(
+            outcomes=[by_job[job] for job in dict.fromkeys(plan)],
+            wall_seconds=time.perf_counter() - start,
+            workers=workers)
+        return report
+
+    def _execute_serial(self, jobs: List[Job],
+                        by_job: Dict[Job, JobOutcome]) -> None:
+        for job in jobs:
+            outcome = JobOutcome(job=job, source="run")
+            for attempt in (1, 2):
+                outcome.attempts = attempt
+                try:
+                    result, seconds = self._worker(
+                        job.kernel, job.key, self.scale, self.sim)
+                except Exception:
+                    outcome.error = traceback.format_exc()
+                    continue
+                self._store(job, result, seconds)
+                outcome.seconds = seconds
+                outcome.error = None
+                break
+            by_job[job] = outcome
+
+    def _execute_pool(self, jobs: List[Job], workers: int,
+                      by_job: Dict[Job, JobOutcome]) -> None:
+        """Fan jobs out; rebuild the pool after a crash and retry."""
+        attempts = {job: 0 for job in jobs}
+        pending = list(jobs)
+        while pending:
+            retry: List[Job] = []
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)))
+            futures = {}
+            try:
+                for job in pending:
+                    attempts[job] += 1
+                    futures[pool.submit(
+                        self._worker, job.kernel, job.key, self.scale,
+                        self.sim)] = job
+                for future, job in futures.items():
+                    outcome = by_job.get(job) or JobOutcome(
+                        job=job, source="run")
+                    outcome.attempts = attempts[job]
+                    try:
+                        result, seconds = future.result()
+                    except Exception:
+                        # Covers worker exceptions and pool breakage
+                        # (BrokenProcessPool) when a worker dies.
+                        outcome.error = traceback.format_exc()
+                        if attempts[job] < 2:
+                            retry.append(job)
+                    else:
+                        self._store(job, result, seconds)
+                        outcome.seconds = seconds
+                        outcome.error = None
+                    by_job[job] = outcome
+            finally:
+                pool.shutdown(wait=True)
+            pending = retry

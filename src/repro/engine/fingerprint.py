@@ -1,0 +1,104 @@
+"""Content-addressed identity of a simulation run.
+
+A cache entry is valid only while everything that determines the run's
+output is unchanged: the kernel specification, the controller key, the
+full :class:`~repro.config.SimConfig`, the workload scale, and the
+simulator code itself.  :func:`job_digest` folds all of these into one
+SHA-256 hex digest.
+
+Code changes are covered by :func:`code_salt`: a hash over the source
+text of every package that can influence a simulation's result
+(``config``, ``sim``, ``workloads``, ``core``, ``baselines``,
+``power``).  Editing any of those files invalidates the whole cache;
+editing the engine, the experiment harnesses, or the docs does not.
+Kernel ``variant`` callables (per-invocation behaviour) are hashed by
+qualified name only -- their *behaviour* is covered by the code salt.
+"""
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, fields
+from typing import Dict
+
+from ..config import SimConfig
+from ..sim.results import encode_controller_key
+from ..workloads import KernelSpec
+from .jobs import Job
+
+#: Bump when the cache entry layout changes incompatibly.
+CACHE_FORMAT = 1
+
+#: Sub-packages (and modules) of ``repro`` whose source text determines
+#: simulation output.  Deliberately excludes ``engine`` and
+#: ``experiments``: they orchestrate runs but never change run results.
+_BEHAVIOR_SOURCES = ("config.py", "errors.py", "sim", "workloads",
+                     "core", "baselines", "power")
+
+_code_salt_cache = None
+
+
+def code_salt() -> str:
+    """Hash of the behaviour-determining source files (memoised)."""
+    global _code_salt_cache
+    if _code_salt_cache is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for entry in _BEHAVIOR_SOURCES:
+            path = os.path.join(root, entry)
+            for file_path in sorted(_python_files(path)):
+                digest.update(os.path.relpath(file_path, root).encode())
+                with open(file_path, "rb") as f:
+                    digest.update(f.read())
+        _code_salt_cache = digest.hexdigest()
+    return _code_salt_cache
+
+
+def _python_files(path):
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, _, filenames in os.walk(path):
+        for name in filenames:
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def sim_config_fingerprint(sim: SimConfig) -> Dict:
+    """JSON-safe dict capturing every field of a SimConfig."""
+    return asdict(sim)
+
+
+def kernel_spec_fingerprint(spec: KernelSpec) -> Dict:
+    """JSON-safe dict capturing a kernel spec.
+
+    The ``variant`` callable is represented by its qualified name; the
+    code salt covers what the callable actually does.
+    """
+    data = {}
+    for f in fields(spec):
+        value = getattr(spec, f.name)
+        if f.name == "phases":
+            data[f.name] = [asdict(p) for p in value]
+        elif f.name == "variant":
+            data[f.name] = (None if value is None else
+                            f"{getattr(value, '__module__', '?')}."
+                            f"{getattr(value, '__qualname__', repr(value))}")
+        else:
+            data[f.name] = value
+    return data
+
+
+def job_digest(job: Job, spec: KernelSpec, sim: SimConfig,
+               scale: float) -> str:
+    """The content address of one run."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "code": code_salt(),
+        "kernel": kernel_spec_fingerprint(spec),
+        "key": encode_controller_key(job.key),
+        "sim": sim_config_fingerprint(sim),
+        "scale": scale,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

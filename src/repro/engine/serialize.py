@@ -1,0 +1,37 @@
+"""Typed JSON encoding for experiment data and engine payloads.
+
+The CLI's ``--json`` output used to serialize with ``default=str``,
+which silently stringified anything json couldn't handle -- a nested
+:class:`RunResult` came out as its ``repr`` and round-tripped to
+garbage.  :class:`ReproJSONEncoder` instead encodes the known result
+types through their typed ``to_dict`` serializers and *fails loudly*
+(:class:`~repro.errors.SerializationError`) on anything unknown.
+"""
+
+import json
+from typing import Any
+
+from ..errors import SerializationError
+from ..sim.results import EpochRecord, KernelResult, RunResult, Segment
+
+
+class ReproJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands the repro result types."""
+
+    def default(self, o: Any) -> Any:
+        if isinstance(o, (RunResult, KernelResult, EpochRecord,
+                          Segment)):
+            return o.to_dict()
+        raise SerializationError(
+            f"cannot serialize {type(o).__name__} to JSON; add a typed "
+            f"serializer instead of stringifying it")
+
+
+def dump_json(data: Any, fp, **kwargs) -> None:
+    """``json.dump`` with the typed encoder (fails on unknown types)."""
+    json.dump(data, fp, cls=ReproJSONEncoder, **kwargs)
+
+
+def dumps_json(data: Any, **kwargs) -> str:
+    """``json.dumps`` with the typed encoder."""
+    return json.dumps(data, cls=ReproJSONEncoder, **kwargs)

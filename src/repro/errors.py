@@ -19,3 +19,11 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is invoked incorrectly."""
+
+
+class SerializationError(ReproError):
+    """Raised when a result payload cannot be encoded or decoded."""
+
+
+class EngineError(ReproError):
+    """Raised when the experiment engine cannot complete its plan."""

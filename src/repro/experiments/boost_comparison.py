@@ -11,8 +11,15 @@ concurrency reductions cache-sensitive kernels need.
 from typing import Dict, List, Optional
 
 from ..workloads import ALL_KERNELS, kernel_by_name
-from .common import BOOST, EQ_PERF, RunCache, geomean
+from .common import (BASELINE, BOOST, EQ_PERF, RunCache, geomean,
+                     kernel_names)
 from .report import format_table
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    return [(name, key) for name in kernel_names(kernels)
+            for key in (BASELINE, EQ_PERF, BOOST)]
 
 
 def run(cache: Optional[RunCache] = None,

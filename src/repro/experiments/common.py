@@ -11,16 +11,15 @@ paper's constants.
 """
 
 import math
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from ..baselines import (CCWSController, DynCTAController,
-                         PowerBudgetController, StaticController)
 from ..config import (EqualizerConfig, SimConfig, VF_HIGH, VF_LOW,
                       VF_NORMAL)
-from ..core import EqualizerController
-from ..errors import ExperimentError
-from ..sim import RunResult, run_kernel
-from ..workloads import build_workload, kernel_by_name
+from ..engine import Engine, ExecutionReport, Job
+from ..engine import jobs as engine_jobs
+from ..errors import EngineError, ExperimentError
+from ..sim import RunResult
+from ..workloads import ALL_KERNELS, kernel_by_name
 
 #: Experiment-scale Equalizer timing (see module docstring).
 EXPERIMENT_EQUALIZER_CONFIG = EqualizerConfig(sample_interval=64,
@@ -54,27 +53,16 @@ ControllerKey = Tuple
 
 def make_controller(key: ControllerKey,
                     eq_config: Optional[EqualizerConfig] = None):
-    """Instantiate the controller a key describes (None for baseline)."""
-    eq_config = eq_config or EXPERIMENT_EQUALIZER_CONFIG
-    kind = key[0]
-    if kind == "baseline":
-        return None
-    if kind == "static":
-        _, sm_vf, mem_vf, blocks = key
-        return StaticController(sm_vf=sm_vf, mem_vf=mem_vf, blocks=blocks)
-    if kind == "equalizer":
-        mode = key[1]
-        blocks_only = len(key) > 2 and key[2] == "blocks-only"
-        return EqualizerController(mode, config=eq_config,
-                                   manage_frequency=not blocks_only)
-    if kind == "dyncta":
-        return DynCTAController()
-    if kind == "ccws":
-        return CCWSController()
-    if kind == "boost":
-        return (PowerBudgetController(budget_w=key[1]) if len(key) > 1
-                else PowerBudgetController())
-    raise ExperimentError(f"unknown controller key {key!r}")
+    """Instantiate the controller a key describes (None for baseline).
+
+    Thin wrapper over :func:`repro.engine.jobs.make_controller` that
+    defaults to the experiment-scale Equalizer timing.
+    """
+    try:
+        return engine_jobs.make_controller(
+            key, eq_config or EXPERIMENT_EQUALIZER_CONFIG)
+    except EngineError as exc:
+        raise ExperimentError(str(exc)) from exc
 
 
 # Convenience keys used across figures.
@@ -95,42 +83,64 @@ def static_blocks(n: int) -> ControllerKey:
     return ("static", VF_NORMAL, VF_NORMAL, n)
 
 
+def kernel_names(kernels: Optional[List[str]] = None) -> List[str]:
+    """The kernel subset an experiment was asked for (default: all)."""
+    if kernels:
+        return list(kernels)
+    return [k.name for k in ALL_KERNELS]
+
+
+def max_concurrent_blocks(kernel: str,
+                          sim: Optional[SimConfig] = None) -> int:
+    """Feasible concurrent-block ceiling for a kernel on a machine."""
+    sim = sim or default_sim()
+    spec = kernel_by_name(kernel)
+    return min(spec.max_blocks, sim.gpu.max_blocks_per_sm,
+               sim.gpu.max_warps_per_sm // spec.wcta)
+
+
 class RunCache:
-    """Memoises simulation runs within a process.
+    """Memoising façade over the experiment :class:`~repro.engine.Engine`.
 
     Several figures share configurations (every figure needs the
     baseline run of every kernel, for instance); the cache makes a full
     regeneration of all figures cost one simulation per distinct
     (kernel, controller, scale) triple.
+
+    Constructed bare (``RunCache(scale=0.3)``) it memoises in memory
+    only, exactly like the pre-engine implementation -- tests and ad
+    hoc scripts see no disk traffic.  Handed an engine
+    (``RunCache(engine=Engine(...))``) it inherits that engine's scale,
+    SimConfig, on-disk cache, and process-pool fan-out
+    (:meth:`execute`).
     """
 
     def __init__(self, sim: Optional[SimConfig] = None,
-                 scale: float = 1.0) -> None:
-        self.sim = sim or default_sim()
-        self.scale = scale
-        self._runs: Dict[Tuple, RunResult] = {}
-        self._controllers: Dict[Tuple, object] = {}
+                 scale: float = 1.0,
+                 engine: Optional[Engine] = None) -> None:
+        if engine is None:
+            engine = Engine(sim=sim or default_sim(), scale=scale,
+                            use_cache=False)
+        elif sim is not None:
+            raise ExperimentError(
+                "pass sim/scale either to RunCache or to its engine, "
+                "not both")
+        self.engine = engine
+        self.sim = engine.sim
+        self.scale = engine.scale
 
     def run(self, kernel: str, key: ControllerKey = BASELINE) -> RunResult:
         """Run (or recall) one kernel under one controller."""
-        cache_key = (kernel, key)
-        hit = self._runs.get(cache_key)
-        if hit is not None:
-            return hit
-        workload = build_workload(kernel_by_name(kernel), scale=self.scale,
-                                  seed=self.sim.seed)
-        controller = make_controller(key, self.sim.equalizer)
-        result = run_kernel(workload, self.sim, controller=controller)
-        self._runs[cache_key] = result
-        self._controllers[cache_key] = controller
-        return result
+        return self.engine.run(kernel, key)
+
+    def execute(self, jobs: List[Job],
+                workers: Optional[int] = None) -> ExecutionReport:
+        """Fan a job plan out ahead of rendering (see Engine.execute)."""
+        return self.engine.execute(jobs, workers=workers)
 
     def controller(self, kernel: str, key: ControllerKey):
         """The controller instance used for a cached run (for traces)."""
-        cache_key = (kernel, key)
-        if cache_key not in self._runs:
-            self.run(kernel, key)
-        return self._controllers[cache_key]
+        return self.engine.controller(kernel, key)
 
     def baseline(self, kernel: str) -> RunResult:
         return self.run(kernel, BASELINE)
@@ -148,4 +158,4 @@ class RunCache:
             self.baseline(kernel))
 
     def __len__(self) -> int:
-        return len(self._runs)
+        return len(self.engine)

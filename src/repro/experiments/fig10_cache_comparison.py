@@ -12,11 +12,18 @@ kmn).
 from typing import Dict, List, Optional
 
 from ..workloads import kernels_in_category
-from .common import CCWS, DYNCTA, EQ_PERF, RunCache, geomean
+from .common import BASELINE, CCWS, DYNCTA, EQ_PERF, RunCache, geomean
 from .report import format_table
 
 CACHE_KERNELS = [k.name for k in kernels_in_category("cache")]
 CONFIGS = {"dyncta": DYNCTA, "ccws": CCWS, "equalizer": EQ_PERF}
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    keys = [BASELINE] + list(CONFIGS.values())
+    return [(name, key) for name in (kernels or CACHE_KERNELS)
+            for key in keys]
 
 
 def run(cache: Optional[RunCache] = None,

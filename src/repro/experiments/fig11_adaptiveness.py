@@ -12,12 +12,19 @@
 
 from typing import Dict, Optional
 
-from .common import DYNCTA, RunCache
+from .common import DYNCTA, RunCache, static_blocks
 from .fig2_variation import run_fig2a
 
 BFS = "bfs-2"
 SPMV = "spmv"
 EQ_BLOCKS_ONLY = ("equalizer", "performance", "blocks-only")
+
+
+def jobs(kernels=None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    return ([(BFS, static_blocks(n)) for n in (1, 2, 3)]
+            + [(BFS, EQ_BLOCKS_ONLY),
+               (SPMV, EQ_BLOCKS_ONLY), (SPMV, DYNCTA)])
 
 
 def run_fig11a(cache: Optional[RunCache] = None) -> Dict:

@@ -16,7 +16,8 @@ divided by the configuration's energy (higher is better).
 from typing import Dict, List, Optional
 
 from ..workloads import ALL_KERNELS, kernel_by_name
-from .common import (MEM_HIGH, MEM_LOW, RunCache, SM_HIGH, SM_LOW,
+from .common import (BASELINE, MEM_HIGH, MEM_LOW, RunCache, SM_HIGH,
+                     SM_LOW, kernel_names, max_concurrent_blocks,
                      static_blocks)
 from .report import format_table
 
@@ -26,6 +27,18 @@ SUBFIGURES = {
     "1c": MEM_HIGH,
     "1d": MEM_LOW,
 }
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    plan = []
+    for name in kernel_names(kernels):
+        plan.append((name, BASELINE))
+        for key in SUBFIGURES.values():
+            plan.append((name, key))
+        for n in range(1, max_concurrent_blocks(name, sim) + 1):
+            plan.append((name, static_blocks(n)))
+    return plan
 
 
 def sweep_block_counts(cache: RunCache, kernel: str) -> Dict[int, Dict]:

@@ -15,6 +15,12 @@ BFS = "bfs-2"
 MRI = "mri-g-1"
 
 
+def jobs(kernels=None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    return ([(BFS, static_blocks(n)) for n in (1, 2, 3)]
+            + [(MRI, BASELINE)])
+
+
 def run_fig2a(cache: Optional[RunCache] = None) -> Dict:
     """Per-invocation times for fixed block counts plus the optimum."""
     cache = cache or RunCache()

@@ -11,8 +11,13 @@ and unsaturated kernels an inclination toward one of the two.
 from typing import Dict, List, Optional
 
 from ..workloads import ALL_KERNELS, kernel_by_name
-from .common import RunCache
+from .common import BASELINE, RunCache, kernel_names
 from .report import format_table
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    return [(name, BASELINE) for name in kernel_names(kernels)]
 
 
 def run(cache: Optional[RunCache] = None,

@@ -10,10 +10,17 @@ shedding blocks is safe for them -- which is why Algorithm 1's
 from typing import Dict, List, Optional
 
 from ..workloads import kernels_in_category
-from .common import RunCache, static_blocks
+from .common import RunCache, max_concurrent_blocks, static_blocks
 from .report import format_table
 
 MEMORY_KERNELS = [k.name for k in kernels_in_category("memory")]
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    return [(name, static_blocks(n))
+            for name in (kernels or MEMORY_KERNELS)
+            for n in range(1, max_concurrent_blocks(name, sim) + 1)]
 
 
 def run(cache: Optional[RunCache] = None,

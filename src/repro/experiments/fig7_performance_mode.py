@@ -15,11 +15,19 @@ leuko-1 (texture path invisible to the counters), and overall delivers
 from typing import Dict, List, Optional
 
 from ..workloads import ALL_KERNELS, kernel_by_name
-from .common import (EQ_PERF, MEM_HIGH, RunCache, SM_HIGH, geomean)
+from .common import (BASELINE, EQ_PERF, MEM_HIGH, RunCache, SM_HIGH,
+                     geomean, kernel_names)
 from .report import format_table
 
 CONFIGS = {"equalizer": EQ_PERF, "sm_boost": SM_HIGH,
            "mem_boost": MEM_HIGH}
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    keys = [BASELINE] + list(CONFIGS.values())
+    return [(name, key) for name in kernel_names(kernels)
+            for key in keys]
 
 
 def run(cache: Optional[RunCache] = None,

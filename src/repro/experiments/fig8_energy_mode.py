@@ -15,10 +15,18 @@ savings at +5% performance versus ~8% for the static best.
 from typing import Dict, List, Optional
 
 from ..workloads import ALL_KERNELS, kernel_by_name
-from .common import (EQ_ENERGY, MEM_LOW, RunCache, SM_LOW, geomean)
+from .common import (BASELINE, EQ_ENERGY, MEM_LOW, RunCache, SM_LOW,
+                     geomean, kernel_names)
 from .report import format_table
 
 STATIC_PERF_FLOOR = 0.95
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    keys = [BASELINE, EQ_ENERGY, SM_LOW, MEM_LOW]
+    return [(name, key) for name in kernel_names(kernels)
+            for key in keys]
 
 
 def run(cache: Optional[RunCache] = None,

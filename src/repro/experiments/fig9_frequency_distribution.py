@@ -14,10 +14,16 @@ from typing import Dict, List, Optional
 
 from ..config import VF_HIGH, VF_LOW, VF_NORMAL
 from ..workloads import ALL_KERNELS, kernel_by_name
-from .common import EQ_ENERGY, EQ_PERF, RunCache
+from .common import EQ_ENERGY, EQ_PERF, RunCache, kernel_names
 from .report import format_table
 
 MODES = {"performance": EQ_PERF, "energy": EQ_ENERGY}
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    return [(name, key) for name in kernel_names(kernels)
+            for key in MODES.values()]
 
 
 def distribution(result) -> Dict[str, float]:

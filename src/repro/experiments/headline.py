@@ -10,8 +10,8 @@
 from typing import Dict, List, Optional
 
 from ..workloads import ALL_KERNELS
-from .common import (EQ_ENERGY, EQ_PERF, MEM_HIGH, MEM_LOW, RunCache,
-                     SM_HIGH, SM_LOW, geomean)
+from .common import (BASELINE, EQ_ENERGY, EQ_PERF, MEM_HIGH, MEM_LOW,
+                     RunCache, SM_HIGH, SM_LOW, geomean, kernel_names)
 
 CONFIGS = {
     "equalizer_performance": EQ_PERF,
@@ -31,6 +31,13 @@ PAPER = {
     "sm_low": {"speedup": 0.91, "energy_delta": None},
     "mem_low": {"speedup": 0.93, "energy_delta": None},
 }
+
+
+def jobs(kernels: Optional[List[str]] = None, sim=None):
+    """The (kernel, controller key) runs this experiment needs."""
+    keys = [BASELINE] + list(CONFIGS.values())
+    return [(name, key) for name in kernel_names(kernels)
+            for key in keys]
 
 
 def run(cache: Optional[RunCache] = None,

@@ -22,7 +22,7 @@ from typing import Dict, Optional
 from ..config import SimConfig
 from ..core import EqualizerController
 from ..sim import run_kernel
-from ..workloads import Phase, build_workload, kernel_by_name
+from ..workloads import build_workload, kernel_by_name
 from ..baselines import StaticController
 from .common import default_sim
 from .report import format_table

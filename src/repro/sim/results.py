@@ -1,7 +1,18 @@
-"""Result containers produced by a simulation run."""
+"""Result containers produced by a simulation run.
 
-from dataclasses import dataclass, field
+Every container in this module round-trips through plain
+JSON-compatible dictionaries (``to_dict`` / ``from_dict``): the
+experiment engine persists :class:`RunResult` objects in its on-disk
+cache and ships them across process boundaries, and the CLI's
+``--json`` output uses the same typed serializers.  Controller keys --
+the tuples :mod:`repro.experiments.common` uses to describe a
+controller -- have encode/decode helpers here for the same reason.
+"""
+
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Tuple
+
+from ..errors import SerializationError
 
 
 @dataclass(frozen=True)
@@ -19,6 +30,13 @@ class Segment:
     l2_txns: int
     dram_txns: int
 
+    def to_dict(self) -> Dict:
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Segment":
+        return _dataclass_from_dict(cls, data)
+
 
 @dataclass(frozen=True)
 class EpochRecord:
@@ -35,6 +53,13 @@ class EpochRecord:
     blocks: float
     sm_vf: int
     mem_vf: int
+
+    def to_dict(self) -> Dict:
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EpochRecord":
+        return _dataclass_from_dict(cls, data)
 
 
 @dataclass
@@ -96,6 +121,25 @@ class KernelResult:
         return {"waiting": waiting, "excess_mem": xmem,
                 "excess_alu": xalu, "other": other}
 
+    def to_dict(self) -> Dict:
+        data = _dataclass_to_dict(
+            self, skip=("invocation_ticks", "epochs", "segments"))
+        data["invocation_ticks"] = list(self.invocation_ticks)
+        data["epochs"] = [e.to_dict() for e in self.epochs]
+        data["segments"] = [s.to_dict() for s in self.segments]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "KernelResult":
+        data = dict(data)
+        data["epochs"] = [EpochRecord.from_dict(e)
+                          for e in data.get("epochs", ())]
+        data["segments"] = [Segment.from_dict(s)
+                            for s in data.get("segments", ())]
+        data["invocation_ticks"] = [int(t) for t in
+                                    data.get("invocation_ticks", ())]
+        return _dataclass_from_dict(cls, data)
+
 
 @dataclass
 class RunResult:
@@ -129,3 +173,67 @@ class RunResult:
     def energy_savings_vs(self, baseline: "RunResult") -> float:
         """Relative energy saved versus the baseline."""
         return 1.0 - self.energy_j / baseline.energy_j
+
+    def to_dict(self) -> Dict:
+        return {
+            "result": self.result.to_dict(),
+            "seconds": self.seconds,
+            "energy_j": self.energy_j,
+            "energy_breakdown": dict(self.energy_breakdown),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        try:
+            return cls(
+                result=KernelResult.from_dict(data["result"]),
+                seconds=float(data["seconds"]),
+                energy_j=float(data["energy_j"]),
+                energy_breakdown={str(k): float(v) for k, v in
+                                  data["energy_breakdown"].items()},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"malformed RunResult payload: {exc}") from exc
+
+
+def _dataclass_to_dict(obj, skip=()) -> Dict:
+    """Shallow dataclass -> dict of scalar fields (no recursion)."""
+    return {f.name: getattr(obj, f.name) for f in fields(obj)
+            if f.name not in skip}
+
+
+def _dataclass_from_dict(cls, data: Dict):
+    """Rebuild a dataclass from a dict, rejecting unknown fields."""
+    names = {f.name for f in fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise SerializationError(
+            f"unknown fields for {cls.__name__}: {sorted(unknown)}")
+    missing = names - set(data)
+    if missing:
+        raise SerializationError(
+            f"missing fields for {cls.__name__}: {sorted(missing)}")
+    return cls(**data)
+
+
+def encode_controller_key(key: Tuple) -> List:
+    """Controller key tuple -> JSON-safe list.
+
+    Keys are flat tuples of primitives (see
+    :data:`repro.experiments.common.ControllerKey`); anything else is
+    rejected so cache digests stay well-defined.
+    """
+    encoded = []
+    for part in key:
+        if part is not None and not isinstance(part, (str, int, float,
+                                                      bool)):
+            raise SerializationError(
+                f"controller key part {part!r} is not a primitive")
+        encoded.append(part)
+    return encoded
+
+
+def decode_controller_key(data: List) -> Tuple:
+    """Inverse of :func:`encode_controller_key`."""
+    return tuple(data)

@@ -8,8 +8,7 @@ from repro.errors import ConfigError
 from repro.sim.gpu import run_kernel
 from repro.workloads import build_workload
 
-from helpers import (cache_spec, compute_spec, memory_spec, tiny_equalizer,
-                     tiny_sim)
+from helpers import cache_spec, compute_spec, memory_spec, tiny_sim
 
 
 def run_eq(spec, mode, **ctrl_kwargs):

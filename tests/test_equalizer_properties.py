@@ -12,7 +12,7 @@ from repro.core import EqualizerController
 from repro.sim.gpu import run_kernel
 from repro.workloads import KernelSpec, Phase, build_workload
 
-from helpers import tiny_equalizer, tiny_sim
+from helpers import tiny_sim
 
 spec_strategy = st.fixed_dictionaries({
     "wcta": st.sampled_from([2, 4, 8]),

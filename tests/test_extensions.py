@@ -4,7 +4,7 @@ power-budget comparator."""
 import pytest
 
 from repro.baselines import PowerBudgetController
-from repro.config import SimConfig, VF_NORMAL
+from repro.config import VF_NORMAL
 from repro.errors import ConfigError
 from repro.experiments import ablations, boost_comparison, motivation
 from repro.experiments.common import RunCache

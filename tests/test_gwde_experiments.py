@@ -5,9 +5,9 @@ import pytest
 from repro.config import VF_HIGH, VF_NORMAL
 from repro.errors import ExperimentError
 from repro.experiments import common
-from repro.experiments.common import (BASELINE, EQ_ENERGY, EQ_PERF,
-                                      MEM_HIGH, RunCache, geomean,
-                                      make_controller, static_blocks)
+from repro.experiments.common import (BASELINE, EQ_PERF, RunCache,
+                                      geomean, make_controller,
+                                      static_blocks)
 from repro.experiments.report import bar, format_percent, format_table
 from repro.sim.gwde import GWDE
 

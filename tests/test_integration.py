@@ -7,9 +7,9 @@ the directions of every headline effect.
 
 import pytest
 
-from repro.experiments.common import (BASELINE, EQ_ENERGY, EQ_PERF,
-                                      MEM_HIGH, MEM_LOW, RunCache,
-                                      SM_HIGH, SM_LOW, static_blocks)
+from repro.experiments.common import (EQ_ENERGY, EQ_PERF, MEM_HIGH,
+                                      MEM_LOW, RunCache, SM_HIGH,
+                                      SM_LOW, static_blocks)
 
 SCALE = 0.35
 

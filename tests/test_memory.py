@@ -1,7 +1,5 @@
 """Unit tests for the shared memory system (L2 + DRAM + queues)."""
 
-import pytest
-
 from repro.config import GPUConfig
 from repro.sim.memory import (MemorySubsystem, REQ_READ, REQ_TEX,
                               REQ_WRITE)

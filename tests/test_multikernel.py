@@ -5,9 +5,8 @@ import pytest
 from repro.errors import WorkloadError
 from repro.sim.gpu import GPU, run_kernel
 from repro.sim.multikernel import MultiKernelWorkload, PartitionedGWDE
-from repro.workloads import KernelSpec
 
-from helpers import cache_spec, compute_spec, memory_spec, tiny_sim
+from helpers import compute_spec, memory_spec, tiny_sim
 
 
 def mix(seed=3):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.gpu import GPU
-from repro.sim.warp import W_DONE
 from repro.workloads import Phase, build_workload
 
 from helpers import cache_spec, compute_spec, memory_spec, tiny_sim
@@ -167,7 +166,6 @@ class TestPausing:
         assert active <= spec.wcta
 
     def test_target_clamped_to_limits(self):
-        spec = memory_spec()
         sim = tiny_sim()
         gpu = GPU(sim)
         sm = gpu.sms[0]

@@ -1,7 +1,5 @@
 """SM edge cases: texture path, store back-pressure, pause races."""
 
-import pytest
-
 from repro.baselines import StaticController
 from repro.core.controller import Controller
 from repro.sim.gpu import GPU, run_kernel

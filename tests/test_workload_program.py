@@ -105,9 +105,10 @@ class TestWarpProgram:
         assert mems == 20
 
     def test_jitter_is_deterministic_per_seed(self):
-        mk = lambda seed: drain(make_program(
-            (Phase(alu_per_mem=6, alu_jitter=2),), iterations=10,
-            seed=seed))
+        def mk(seed):
+            return drain(make_program(
+                (Phase(alu_per_mem=6, alu_jitter=2),), iterations=10,
+                seed=seed))
         assert mk(5) == mk(5)
         assert mk(5) != mk(6)
 
