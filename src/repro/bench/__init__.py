@@ -1,0 +1,185 @@
+"""Simulator throughput microbenchmarks (``python -m repro.bench``).
+
+The experiment sweeps replay thousands of epochs through the pure-Python
+cycle loop, so simulator throughput -- base ticks simulated per second of
+wall clock -- bounds every study this repository can afford.  This
+package times four representative kernels, one per behavioural corner of
+the substrate:
+
+========== ============ ====================================================
+role       kernel       what it stresses
+========== ============ ====================================================
+compute    ``cutcp``    ALU issue, dependence sleep/wake, the warp scheduler
+memory     ``lbm``      LSU drain, MSHRs, L2/DRAM back-pressure
+cache      ``spmv``     L1 thrash, miss-path occupancy, CTA-pausing regimes
+texture    ``leuko-1``  the deep texture path and its response flood
+========== ============ ====================================================
+
+Results are written as JSON (``BENCH_sim.json`` by default) and two
+result files can be compared with a regression threshold; CI keeps a
+committed quick-mode baseline honest with ``--compare``.  Simulations
+are deterministic, so the simulated tick count of each kernel is stable
+across runs and machines -- only the wall clock varies.
+"""
+
+import json
+import math
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Schema version of the benchmark result files.
+BENCH_FORMAT = 1
+
+#: Iteration scale used by ``--quick`` (CI smoke) runs.
+QUICK_SCALE = 0.3
+
+#: role -> kernel name; one representative per substrate corner.
+REPRESENTATIVE_KERNELS: Tuple[Tuple[str, str], ...] = (
+    ("compute", "cutcp"),
+    ("memory", "lbm"),
+    ("cache", "spmv"),
+    ("texture", "leuko-1"),
+)
+
+
+class BenchError(ReproError):
+    """A benchmark run or comparison failed."""
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise BenchError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise BenchError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
+                 sim=None) -> Dict:
+    """Time one kernel end to end; return its result row.
+
+    Each repeat rebuilds the workload (programs are stateful iterators)
+    and re-runs the full simulation; the reported wall time is the best
+    of the repeats, which is the standard way to shave scheduler noise
+    off a deterministic benchmark.
+    """
+    from ..sim.gpu import run_kernel
+    from ..workloads import build_workload, kernel_by_name
+
+    if repeats < 1:
+        raise BenchError("repeats must be >= 1")
+    if sim is None:
+        from ..experiments.common import default_sim
+        sim = default_sim()
+    spec = kernel_by_name(name)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    best = None
+    ticks = None
+    for _ in range(repeats):
+        workload = build_workload(spec, seed=sim.seed)
+        start = time.perf_counter()
+        run = run_kernel(workload, sim)
+        wall = time.perf_counter() - start
+        if ticks is None:
+            ticks = run.result.ticks
+        elif ticks != run.result.ticks:
+            raise BenchError(
+                f"{name}: nondeterministic tick count "
+                f"({ticks} vs {run.result.ticks})")
+        if best is None or wall < best:
+            best = wall
+    return {
+        "ticks": ticks,
+        "wall_s": round(best, 6),
+        "ticks_per_sec": round(ticks / best, 1),
+    }
+
+
+def run_suite(kernels: Optional[List[str]] = None, scale: float = 1.0,
+              repeats: int = 1, quick: bool = False) -> Dict:
+    """Run the benchmark suite and return the result document."""
+    if quick:
+        scale = QUICK_SCALE
+    roles = dict((k, role) for role, k in REPRESENTATIVE_KERNELS)
+    names = kernels or [k for _, k in REPRESENTATIVE_KERNELS]
+    rows = {}
+    for name in names:
+        row = bench_kernel(name, scale=scale, repeats=repeats)
+        row["role"] = roles.get(name, "extra")
+        rows[name] = row
+    return {
+        "format": BENCH_FORMAT,
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "repeats": repeats,
+        "kernels": rows,
+        "geomean_ticks_per_sec": round(
+            geomean([r["ticks_per_sec"] for r in rows.values()]), 1),
+    }
+
+
+def save_results(path: str, results: Dict) -> None:
+    with open(path, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_results(path: str) -> Dict:
+    try:
+        with open(path, "r") as f:
+            results = json.load(f)
+    except OSError as exc:
+        raise BenchError(f"cannot read benchmark file {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"benchmark file {path} is not JSON: {exc}")
+    if results.get("format") != BENCH_FORMAT:
+        raise BenchError(f"unsupported benchmark format in {path}: "
+                         f"{results.get('format')!r}")
+    if "kernels" not in results:
+        raise BenchError(f"benchmark file {path} has no kernels")
+    return results
+
+
+def compare(base: Dict, new: Dict, threshold: float = 0.30
+            ) -> Tuple[List[str], bool]:
+    """Compare two benchmark documents.
+
+    Returns ``(report_lines, ok)``.  The comparison fails when the
+    geomean ticks/sec over the kernels common to both documents drops
+    by more than ``threshold`` (0.30 = a 30% regression).  Comparing
+    documents taken at different scales or modes is reported but not
+    fatal: ticks/sec is scale-invariant to first order, the tick counts
+    are not.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise BenchError("threshold must lie in (0, 1)")
+    lines = []
+    if base.get("scale") != new.get("scale"):
+        lines.append(f"note: scales differ (base {base.get('scale')}, "
+                     f"new {new.get('scale')}); comparing ticks/sec only")
+    common = [k for k in base["kernels"] if k in new["kernels"]]
+    if not common:
+        raise BenchError("benchmark files share no kernels")
+    missing = sorted(set(base["kernels"]) - set(new["kernels"]))
+    if missing:
+        lines.append(f"note: kernels missing from new run: "
+                     f"{', '.join(missing)}")
+    ratios = []
+    lines.append(f"{'kernel':<10} {'base t/s':>12} {'new t/s':>12} "
+                 f"{'speedup':>8}")
+    for name in common:
+        b = base["kernels"][name]["ticks_per_sec"]
+        n = new["kernels"][name]["ticks_per_sec"]
+        ratio = n / b
+        ratios.append(ratio)
+        lines.append(f"{name:<10} {b:>12.0f} {n:>12.0f} {ratio:>7.2f}x")
+    gm = geomean(ratios)
+    ok = gm >= (1.0 - threshold)
+    lines.append(f"geomean speedup: {gm:.2f}x "
+                 f"(floor {1.0 - threshold:.2f}x -> "
+                 f"{'ok' if ok else 'REGRESSION'})")
+    return lines, ok

@@ -1,0 +1,68 @@
+"""Benchmark CLI.
+
+Usage::
+
+    python -m repro.bench                         # full run -> BENCH_sim.json
+    python -m repro.bench --quick                 # CI-scale run
+    python -m repro.bench --compare OLD NEW       # regression check
+    python -m repro.bench --compare OLD NEW --threshold 0.1
+"""
+
+import argparse
+import sys
+
+from . import (BenchError, QUICK_SCALE, compare, load_results, run_suite,
+               save_results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Simulator throughput microbenchmarks.")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"quick mode: scale kernels to "
+                             f"{QUICK_SCALE}x iterations (CI smoke)")
+    parser.add_argument("--scale", type=float, default=1.0, metavar="S",
+                        help="iteration scale factor (default: 1.0)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="repeats per kernel; best wall time wins")
+    parser.add_argument("--kernels", nargs="+", metavar="NAME",
+                        help="kernel subset (default: the four "
+                             "representatives)")
+    parser.add_argument("--output", default="BENCH_sim.json",
+                        metavar="PATH",
+                        help="result file (default: BENCH_sim.json)")
+    parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
+                        help="compare two result files instead of "
+                             "running")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        metavar="T",
+                        help="tolerated geomean ticks/sec regression "
+                             "for --compare (default: 0.30)")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.compare:
+            base = load_results(args.compare[0])
+            new = load_results(args.compare[1])
+            lines, ok = compare(base, new, threshold=args.threshold)
+            for line in lines:
+                print(line)
+            return 0 if ok else 1
+        results = run_suite(kernels=args.kernels, scale=args.scale,
+                            repeats=args.repeat, quick=args.quick)
+        for name, row in results["kernels"].items():
+            print(f"{name:<10} {row['ticks']:>9d} ticks "
+                  f"{row['wall_s']:>8.2f}s "
+                  f"{row['ticks_per_sec']:>12.0f} ticks/s")
+        print(f"geomean: {results['geomean_ticks_per_sec']:.0f} ticks/s")
+        save_results(args.output, results)
+        print(f"wrote {args.output}")
+        return 0
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,12 @@ class GPUConfig:
             raise ConfigError("L2 geometry must be positive")
         if self.dram_bytes_per_cycle <= 0:
             raise ConfigError("dram_bytes_per_cycle must be positive")
+        if (self.l1_hit_latency < 1 or self.l2_latency < 1
+                or self.dram_latency < 1):
+            # The SM sleep buckets and the memory response buckets both
+            # pop exactly the current cycle's bucket, so every wake or
+            # response must be scheduled strictly in the future.
+            raise ConfigError("memory latencies must be >= 1")
         if not 0.0 < self.vf_step < 1.0:
             raise ConfigError("vf_step must lie in (0, 1)")
 

@@ -5,9 +5,10 @@ the shared L2 are instances of :class:`SetAssocCache`.  Addresses are
 already line-granular integers (the workload address models generate
 line addresses directly), so the cache indexes by ``line % sets``.
 
-Each set is a small list kept in most-recently-used-first order; with
-4-8 ways the list operations are cheap and exact LRU falls out of the
-ordering.
+Each set is a small dict whose insertion order runs LRU-first to
+MRU-last; refreshing a line re-inserts it, and the eviction victim is
+the first key.  All operations are O(1) dict primitives, which matters
+because the L1 probe sits on the simulator's hottest path.
 """
 
 from ..errors import ConfigError
@@ -25,7 +26,7 @@ class SetAssocCache:
         self.sets = sets
         self.ways = ways
         self.name = name
-        self._data = [[] for _ in range(sets)]
+        self._data = [{} for _ in range(sets)]
         self.hits = 0
         self.misses = 0
         self.fills = 0
@@ -39,15 +40,13 @@ class SetAssocCache:
         the simulated miss path behaves (allocate-on-fill).
         """
         st = self._data[line % self.sets]
-        try:
-            idx = st.index(line)
-        except ValueError:
-            self.misses += 1
-            return False
-        self.hits += 1
-        if idx:
-            st.insert(0, st.pop(idx))
-        return True
+        if line in st:
+            self.hits += 1
+            del st[line]
+            st[line] = None
+            return True
+        self.misses += 1
+        return False
 
     def probe(self, line: int) -> bool:
         """Check residency without touching LRU state or statistics."""
@@ -61,19 +60,17 @@ class SetAssocCache:
         line race, or an L2 fill follows an L1 fill).
         """
         st = self._data[line % self.sets]
-        try:
-            idx = st.index(line)
-        except ValueError:
-            pass
-        else:
-            if idx:
-                st.insert(0, st.pop(idx))
+        if line in st:
+            del st[line]
+            st[line] = None
             return None
         self.fills += 1
-        st.insert(0, line)
+        st[line] = None
         if len(st) > self.ways:
             self.evictions += 1
-            return st.pop()
+            victim = next(iter(st))
+            del st[victim]
+            return victim
         return None
 
     def occupancy(self) -> int:
@@ -123,26 +120,27 @@ class VictimTagArray:
         if entries < 1:
             raise ConfigError("victim tag array needs >= 1 entry")
         self.entries = entries
-        self._tags = []
+        # Insertion order runs LRU-first to MRU-last, as in
+        # :class:`SetAssocCache`.
+        self._tags = {}
 
     def insert(self, line: int) -> None:
         """Record an evicted (or missed) line tag, LRU-evicting."""
-        try:
-            self._tags.remove(line)
-        except ValueError:
-            pass
-        self._tags.insert(0, line)
-        if len(self._tags) > self.entries:
-            self._tags.pop()
+        tags = self._tags
+        if line in tags:
+            del tags[line]
+        tags[line] = None
+        if len(tags) > self.entries:
+            del tags[next(iter(tags))]
 
     def hit(self, line: int) -> bool:
         """Probe-and-refresh; True if the tag is present."""
-        try:
-            self._tags.remove(line)
-        except ValueError:
-            return False
-        self._tags.insert(0, line)
-        return True
+        tags = self._tags
+        if line in tags:
+            del tags[line]
+            tags[line] = None
+            return True
+        return False
 
     def __len__(self) -> int:
         return len(self._tags)

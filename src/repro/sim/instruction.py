@@ -22,6 +22,9 @@ OP_TEX_LOAD = 3
 OP_BARRIER = 4
 #: End of the warp's program.
 OP_DONE = 5
+# OP_BARRIER and OP_DONE must stay the two largest opcodes: the SM's
+# dispatch fast path classifies them with a single ``op >= OP_BARRIER``
+# comparison (see sm.py).
 
 OPCODE_NAMES = {
     OP_ALU: "alu",

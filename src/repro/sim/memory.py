@@ -13,7 +13,6 @@ SMs' LSUs cannot forward misses; a blocked LSU is what parks ready
 memory warps in the Xmem state.
 """
 
-import heapq
 from collections import deque
 
 from ..config import GPUConfig, LINE_BYTES
@@ -29,7 +28,7 @@ class MemorySubsystem:
     """Shared L2 + DRAM model with finite queues and a bandwidth server."""
 
     __slots__ = ("cfg", "cycle_count", "ingress", "l2", "dram_queue",
-                 "_dram_acc", "_responses", "_seq", "deliver",
+                 "_dram_acc", "_responses", "deliver",
                  "dram_txns", "l2_txns", "writes_dropped",
                  "peak_ingress", "peak_dram_queue")
 
@@ -41,9 +40,11 @@ class MemorySubsystem:
         self.l2 = SetAssocCache(cfg.l2_sets, cfg.l2_ways, name="L2")
         self.dram_queue = deque()
         self._dram_acc = 0.0
-        #: min-heap of (due_cycle, seq, sm_id, line, kind).
-        self._responses = []
-        self._seq = 0
+        #: due cycle -> [(sm_id, line, kind)] in schedule order.  All
+        #: responses are scheduled strictly in the future (latencies
+        #: are >= 1), so each cycle pops at most its own bucket, and
+        #: append order reproduces the old (due, seq) heap order.
+        self._responses = {}
         #: Callback ``deliver(sm_id, line, kind)`` invoked when a read
         #: (or texture) response reaches the requesting SM.
         self.deliver = deliver
@@ -75,61 +76,115 @@ class MemorySubsystem:
     # ------------------------------------------------------------------
     # Memory-domain cycle
     # ------------------------------------------------------------------
-    def cycle(self) -> None:
+    def cycle(self, REQ_WRITE=REQ_WRITE, LINE_BYTES=LINE_BYTES) -> None:
         """Execute one memory-domain cycle."""
         self.cycle_count += 1
+        resp = self._responses
+        ingress = self.ingress
+        dram_queue = self.dram_queue
+        cfg = self.cfg
+        if not resp and not ingress and not dram_queue:
+            # Fully idle: nothing to deliver or drain, and with an
+            # empty DRAM queue the bandwidth accumulator saturates at
+            # one cycle's allowance -- exactly what the full pass
+            # below computes, at a fraction of the cost.
+            self._dram_acc = cfg.dram_bytes_per_cycle
+            return
         now = self.cycle_count
 
         # 1. Deliver responses whose latency has elapsed.
-        resp = self._responses
-        while resp and resp[0][0] <= now:
-            _, _, sm_id, line, kind = heapq.heappop(resp)
-            if kind != REQ_WRITE:
-                self.deliver(sm_id, line, kind)
+        bucket = resp.pop(now, None)
+        if bucket is not None:
+            deliver = self.deliver
+            for sm_id, line, kind in bucket:
+                if kind != REQ_WRITE:
+                    deliver(sm_id, line, kind)
 
         # 2. L2 ports drain the ingress queue toward the DRAM queue.
-        ingress = self.ingress
-        dram_queue = self.dram_queue
-        dram_cap = self.cfg.dram_queue_depth
-        for _ in range(self.cfg.l2_ports):
-            if not ingress:
-                break
-            sm_id, line, kind = ingress[0]
-            if self.l2.access(line):
-                ingress.popleft()
-                self.l2_txns += 1
-                if kind != REQ_WRITE:
-                    self._schedule(now + self.cfg.l2_latency, sm_id, line,
-                                   kind)
-            else:
-                if len(dram_queue) >= dram_cap:
-                    break  # head-of-line blocked on DRAM
-                ingress.popleft()
-                self.l2_txns += 1
-                dram_queue.append((sm_id, line, kind))
-                if len(dram_queue) > self.peak_dram_queue:
-                    self.peak_dram_queue = len(dram_queue)
+        # The (sm_id, line, kind) triple built at submit time travels
+        # through every stage unchanged -- no repacking.  The L2
+        # probe-and-refresh is inlined (l2.access semantics): a blocked
+        # head-of-line transaction re-probes -- and re-counts -- every
+        # cycle, exactly as the method-call version did.
+        l2 = self.l2
+        if ingress:
+            l2_data = l2._data
+            l2_sets = l2.sets
+            dram_cap = cfg.dram_queue_depth
+            l2_latency = cfg.l2_latency
+            l2_txns = self.l2_txns
+            l2_hits = l2.hits
+            l2_misses = l2.misses
+            for _ in range(cfg.l2_ports):
+                txn = ingress[0]
+                line = txn[1]
+                st = l2_data[line % l2_sets]
+                if line in st:
+                    l2_hits += 1
+                    del st[line]
+                    st[line] = None
+                    ingress.popleft()
+                    l2_txns += 1
+                    if txn[2] != REQ_WRITE:
+                        due = now + l2_latency
+                        bucket = resp.get(due)
+                        if bucket is None:
+                            resp[due] = [txn]
+                        else:
+                            bucket.append(txn)
+                else:
+                    l2_misses += 1
+                    if len(dram_queue) >= dram_cap:
+                        break  # head-of-line blocked on DRAM
+                    ingress.popleft()
+                    l2_txns += 1
+                    dram_queue.append(txn)
+                    if len(dram_queue) > self.peak_dram_queue:
+                        self.peak_dram_queue = len(dram_queue)
+                if not ingress:
+                    break
+            self.l2_txns = l2_txns
+            l2.hits = l2_hits
+            l2.misses = l2_misses
 
-        # 3. DRAM bandwidth server.
-        acc = self._dram_acc + self.cfg.dram_bytes_per_cycle
-        while dram_queue and acc >= LINE_BYTES:
-            acc -= LINE_BYTES
-            sm_id, line, kind = dram_queue.popleft()
-            self.dram_txns += 1
-            if kind == REQ_WRITE:
-                self.writes_dropped += 1
-            else:
-                self.l2.fill(line)
-                self._schedule(now + self.cfg.dram_latency, sm_id, line,
-                               kind)
-        if not dram_queue:
+        # 3. DRAM bandwidth server.  The L2 fill is inlined (l2.fill
+        # semantics, victim discarded: nothing observes L2 evictions).
+        acc = self._dram_acc + cfg.dram_bytes_per_cycle
+        if dram_queue and acc >= LINE_BYTES:
+            l2_data = l2._data
+            l2_sets = l2.sets
+            l2_ways = l2.ways
+            dram_latency = cfg.dram_latency
+            while True:
+                acc -= LINE_BYTES
+                txn = dram_queue.popleft()
+                self.dram_txns += 1
+                if txn[2] == REQ_WRITE:
+                    self.writes_dropped += 1
+                else:
+                    line = txn[1]
+                    st = l2_data[line % l2_sets]
+                    if line in st:
+                        del st[line]
+                        st[line] = None
+                    else:
+                        l2.fills += 1
+                        st[line] = None
+                        if len(st) > l2_ways:
+                            l2.evictions += 1
+                            del st[next(iter(st))]
+                    due = now + dram_latency
+                    bucket = resp.get(due)
+                    if bucket is None:
+                        resp[due] = [txn]
+                    else:
+                        bucket.append(txn)
+                if not dram_queue or acc < LINE_BYTES:
+                    break
+        if not dram_queue and acc > cfg.dram_bytes_per_cycle:
             # Idle bandwidth cannot be banked for later bursts.
-            acc = min(acc, self.cfg.dram_bytes_per_cycle)
+            acc = cfg.dram_bytes_per_cycle
         self._dram_acc = acc
-
-    def _schedule(self, due: int, sm_id: int, line: int, kind: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._responses, (due, self._seq, sm_id, line, kind))
 
     # ------------------------------------------------------------------
     # Fast-forward support
@@ -140,7 +195,8 @@ class MemorySubsystem:
 
     def next_event_cycle(self):
         """Memory-domain cycle of the next due response, or None."""
-        return self._responses[0][0] if self._responses else None
+        resp = self._responses
+        return min(resp) if resp else None
 
     def skip_cycles(self, n: int) -> None:
         """Account ``n`` cycles during which no queued work exists.
@@ -155,4 +211,4 @@ class MemorySubsystem:
     def outstanding(self) -> int:
         """Transactions anywhere in the memory system."""
         return (len(self.ingress) + len(self.dram_queue)
-                + len(self._responses))
+                + sum(len(b) for b in self._responses.values()))

@@ -82,6 +82,16 @@ class PerSMVRMGPU(GPU):
     # ------------------------------------------------------------------
     # Overridden run loop pieces
     # ------------------------------------------------------------------
+    def _deliver(self, sm_id: int, line: int, kind: int) -> None:
+        self._ff_blocked = False
+        sm = self.sms[sm_id]
+        # Parked SMs lag their *private* domain here, not the chip-wide
+        # one the base class consults.
+        lag = self.sm_domains[sm_id].cycles - sm.cycle
+        if lag > 0:
+            sm.skip_cycles(lag, self._sample_interval)
+        sm.receive_fill(line, kind)
+
     def run_invocation(self, workload, invocation: int) -> int:
         self._invocation = invocation
         from .gwde import GWDE
@@ -111,29 +121,60 @@ class PerSMVRMGPU(GPU):
         sms = self.sms
         domains = self.sm_domains
         memory = self.memory
+        gwde = self.gwde
         n = len(sms)
-        while not self.gwde.drained or any(sm.busy() for sm in sms):
+        self._ff_blocked = False
+        while not gwde.drained or self.busy_sm_count:
             if self.tick >= max_ticks:
                 raise SimulationError(
                     f"{workload.name}: exceeded max_ticks={max_ticks}")
-            if (memory.quiescent()
-                    and all(sm.quiescent() for sm in sms)):
-                if self._fast_forward_per_sm(interval):
-                    continue
+            if (not self._ff_blocked and not memory.ingress
+                    and not memory.dram_queue
+                    and self.enable_fast_forward):
+                for sm in sms:
+                    if (sm.ready_alu or sm.ready_mem or sm.lsu_queue
+                            or sm._lsu_busy):
+                        break
+                else:
+                    if self._fast_forward_per_sm(interval):
+                        continue
+                    self._ff_blocked = True
             self.tick += 1
             start = self.tick % n
             for k in range(n):
                 i = (start + k) % n
-                for _ in range(domains[i].advance()):
-                    sms[i].cycle_once(interval)
+                sm = sms[i]
+                dom = domains[i]
+                adv = dom.advance()
+                cbase = dom.cycles - adv
+                for j in range(adv):
+                    target = cbase + j + 1
+                    # Per-SM idle skipping (see GPU.run_invocation).
+                    if (sm.ready_alu or sm.ready_mem or sm.lsu_queue
+                            or sm._lsu_busy
+                            or target in sm._sleep_buckets):
+                        lag = target - 1 - sm.cycle
+                        if lag:
+                            sm.skip_cycles(lag, interval)
+                        sm.cycle_once(interval)
             for _ in range(self.mem_domain.advance()):
                 memory.cycle()
             # Epochs follow wall-clock ticks here: per-SM cycle counts
             # diverge, so the decision heartbeat keys off the slowest
             # common clock (the nominal tick).
-            while self.tick * 1.0 >= self._next_epoch_cycle:
-                self._handle_epoch()
-                self._next_epoch_cycle += epoch_cycles
+            if self.tick * 1.0 >= self._next_epoch_cycle:
+                for sm, dom in zip(sms, domains):
+                    lag = dom.cycles - sm.cycle
+                    if lag:
+                        sm.skip_cycles(lag, interval)
+                while self.tick * 1.0 >= self._next_epoch_cycle:
+                    self._handle_epoch()
+                    self._next_epoch_cycle += epoch_cycles
+                self._ff_blocked = False
+        for sm, dom in zip(sms, domains):
+            lag = dom.cycles - sm.cycle
+            if lag:
+                sm.skip_cycles(lag, interval)
         ticks = self.tick - start_tick
         self._invocation_ticks.append(ticks)
         return ticks
@@ -147,7 +188,9 @@ class PerSMVRMGPU(GPU):
             wake = sm.next_wake_cycle()
             if wake is None:
                 continue
-            t = int((wake - sm.cycle - 2) / dom.rate)
+            # Measure from the domain clock: a parked SM's own cycle
+            # counter lags until its idle span is replayed.
+            t = int((wake - dom.cycles - 2) / dom.rate)
             if ticks is None or t < ticks:
                 ticks = t
         resp = self.memory.next_event_cycle()
@@ -162,7 +205,10 @@ class PerSMVRMGPU(GPU):
             return False
         self.tick += ticks
         for sm, dom in zip(self.sms, self.sm_domains):
-            sm.skip_cycles(dom.advance_many(ticks), interval)
+            dom.advance_many(ticks)
+            lag = dom.cycles - sm.cycle
+            if lag:
+                sm.skip_cycles(lag, interval)
         self.memory.skip_cycles(self.mem_domain.advance_many(ticks))
         return True
 

@@ -13,9 +13,22 @@ Equalizer counters observe:
 * a texture path with deep outstanding-request capacity that saturates
   bandwidth without visible LSU back-pressure (the leuko-1 effect);
 * CTA pausing and unpausing exactly as Section IV-B describes.
+
+The hot path is event-driven rather than scan-based:
+
+* ``active_warps`` / ``waiting_warps`` are maintained incrementally at
+  every warp state transition, so :meth:`SM._sample` is O(1) instead of
+  O(resident warps).  Set ``SIM_DEBUG=1`` to cross-check the counters
+  against a full scan at every sample.
+* sleeping warps live in a bucket map keyed by wake cycle; a cycle pops
+  at most its own bucket instead of probing a heap.  Bucket order
+  equals the old ``(due, seq)`` heap order because appends are already
+  in seq order.
+* each SM knows its next sample-boundary cycle, so the per-cycle
+  ``% sample_interval`` disappears.
 """
 
-import heapq
+import os
 from collections import deque
 
 from ..errors import SimulationError
@@ -23,8 +36,12 @@ from .cache import SetAssocCache
 from .instruction import (OP_ALU, OP_BARRIER, OP_DONE, OP_STORE,
                           OP_TEX_LOAD)
 from .memory import REQ_READ, REQ_TEX, REQ_WRITE
-from .warp import (W_BARRIER, W_DONE, W_READY_ALU, W_READY_MEM,
+from .warp import (W_BARRIER, W_DONE, W_NEW, W_READY_ALU, W_READY_MEM,
                    W_SLEEP, W_WAITMEM, ThreadBlock, Warp)
+
+#: When truthy, every sample re-derives the incremental counters from a
+#: full block/warp scan and raises on divergence (see ``SIM_DEBUG``).
+DEBUG_COUNTERS = os.environ.get("SIM_DEBUG", "") not in ("", "0")
 
 
 class MemAccess:
@@ -50,14 +67,19 @@ class SM:
 
     __slots__ = (
         "sm_id", "cfg", "gpu", "cycle", "ready_alu", "ready_mem",
-        "_sleep", "_seq", "lsu_queue", "l1", "mshr", "tex_pending",
+        "_sleep_buckets", "lsu_queue", "l1", "mshr", "tex_pending",
         "tex_outstanding", "blocks", "paused_blocks", "target_blocks",
         "wcta", "kernel_max_blocks", "insts_issued", "alu_issued",
         "mem_issued", "loads_issued", "stores_issued", "blocks_run",
         "epoch_active", "epoch_waiting", "epoch_xmem", "epoch_xalu",
         "epoch_idle", "epoch_samples", "tot_active", "tot_waiting",
         "tot_xmem", "tot_xalu", "tot_idle", "tot_samples",
-        "_needs_fetch", "hooks", "_lsu_busy",
+        "_needs_fetch", "hooks", "_lsu_busy", "active_warps",
+        "waiting_warps", "_next_sample_cycle", "_counted_busy",
+        "debug_counters", "_block_seq", "memory", "_lsu_depth",
+        "_alu_width", "_miss_cycles", "_mshr_entries", "_ingress_depth",
+        "_hit_latency", "_mem_width", "_tex_depth", "_l1_data",
+        "_l1_sets",
     )
 
     def __init__(self, sm_id, cfg, gpu) -> None:
@@ -67,8 +89,8 @@ class SM:
         self.cycle = 0
         self.ready_alu = deque()
         self.ready_mem = deque()
-        self._sleep = []  # (due_cycle, seq, warp)
-        self._seq = 0
+        #: wake cycle -> warps due that cycle, in schedule order.
+        self._sleep_buckets = {}
         self.lsu_queue = deque()
         self.l1 = SetAssocCache(cfg.l1_sets, cfg.l1_ways,
                                 name=f"L1[{sm_id}]")
@@ -76,7 +98,7 @@ class SM:
         self.tex_pending = {}   # line -> [MemAccess]
         self.tex_outstanding = 0
         self.blocks = []
-        self.paused_blocks = []
+        self.paused_blocks = deque()
         self.target_blocks = cfg.max_blocks_per_sm
         self.wcta = 1
         self.kernel_max_blocks = cfg.max_blocks_per_sm
@@ -107,6 +129,35 @@ class SM:
         self._needs_fetch = set()
         #: Controller hook object or None (CCWS needs per-miss hooks).
         self.hooks = None
+        # Incremental Equalizer counters over *unpaused* blocks:
+        #   active_warps  = warps in any state but W_DONE
+        #   waiting_warps = warps in W_SLEEP or W_WAITMEM
+        # Updated at every state transition; verified against a full
+        # scan when ``debug_counters`` is set.
+        self.active_warps = 0
+        self.waiting_warps = 0
+        interval = gpu.sim.equalizer.sample_interval
+        self._next_sample_cycle = interval
+        # Direct references and scalars for the per-cycle hot path (one
+        # attribute hop instead of two or three).
+        self.memory = gpu.memory
+        self._lsu_depth = cfg.lsu_queue_depth
+        self._alu_width = cfg.alu_issue_width
+        self._miss_cycles = cfg.l1_miss_handling_cycles - 1
+        self._mshr_entries = cfg.mshr_entries
+        self._ingress_depth = cfg.memory_ingress_depth
+        self._hit_latency = cfg.l1_hit_latency
+        self._mem_width = cfg.mem_issue_width
+        self._tex_depth = cfg.texture_queue_depth
+        self._l1_data = self.l1._data
+        self._l1_sets = self.l1.sets
+        #: Whether this SM is counted in ``gpu.busy_sm_count``.
+        self._counted_busy = False
+        self.debug_counters = DEBUG_COUNTERS
+        #: Monotonic block-activation stamp; the pause victim is the
+        #: block with the highest stamp, which frees :attr:`blocks`
+        #: from any ordering requirement (swap-remove on retirement).
+        self._block_seq = 0
 
     # ------------------------------------------------------------------
     # Block lifecycle
@@ -150,43 +201,84 @@ class SM:
     def _launch_block(self, factory) -> None:
         block = ThreadBlock(self.gpu.next_block_id())
         programs = factory()
-        block.warps = [Warp(i, block, p) for i, p in enumerate(programs)]
+        default_dep = self.cfg.alu_dep_latency
+        block.warps = [
+            Warp(i, block, p, getattr(p, "dep_latency", default_dep))
+            for i, p in enumerate(programs)]
         block.remaining = len(block.warps)
+        self._block_seq += 1
+        block.seq = self._block_seq
         self.blocks.append(block)
         self.blocks_run += 1
+        if not self._counted_busy:
+            self._counted_busy = True
+            self.gpu.busy_sm_count += 1
+        self.gpu._ff_blocked = False
+        # All warps start W_NEW (active, not waiting); the dispatches
+        # below apply their own transition deltas on top.
+        self.active_warps += len(block.warps)
         for i, warp in enumerate(block.warps):
             self._fetch_and_dispatch(warp, 1 + 2 * i)
 
     def _pause_one(self) -> None:
-        """Pause the most recently launched active block (CTA pausing)."""
-        if not self.blocks:
+        """Pause the most recently activated block (CTA pausing)."""
+        blocks = self.blocks
+        if not blocks:
             return
-        block = self.blocks.pop()
+        idx = max(range(len(blocks)), key=lambda i: blocks[i].seq)
+        block = blocks[idx]
+        last = blocks.pop()
+        if idx < len(blocks):
+            blocks[idx] = last
         block.paused = True
+        active = 0
+        waiting = 0
         for w in block.warps:
             w.paused = True
+            st = w.state
+            if st != W_DONE:
+                active += 1
+                if st == W_SLEEP or st == W_WAITMEM:
+                    waiting += 1
+        self.active_warps -= active
+        self.waiting_warps -= waiting
         # Eagerly pull the block's warps out of the ready queues.
-        for qname in ("ready_alu", "ready_mem"):
-            q = getattr(self, qname)
-            kept = deque()
-            for w in q:
-                if w.paused:
-                    w.block.held.append(w)
-                else:
-                    kept.append(w)
-            setattr(self, qname, kept)
+        for q in (self.ready_alu, self.ready_mem):
+            if not q:
+                continue
+            kept = [w for w in q if not w.paused]
+            if len(kept) != len(q):
+                held = block.held
+                for w in q:
+                    if w.paused:
+                        held.append(w)
+                q.clear()
+                q.extend(kept)
         self.paused_blocks.append(block)
 
     def _unpause_one(self) -> None:
-        block = self.paused_blocks.pop(0)
+        block = self.paused_blocks.popleft()
         block.paused = False
+        self._block_seq += 1
+        block.seq = self._block_seq
+        active = 0
+        waiting = 0
         for w in block.warps:
             w.paused = False
+            st = w.state
+            if st != W_DONE:
+                active += 1
+                if st == W_SLEEP or st == W_WAITMEM:
+                    waiting += 1
+        self.active_warps += active
+        self.waiting_warps += waiting
         self.blocks.append(block)
+        self.gpu._ff_blocked = False
         held, block.held = block.held, []
+        needs_fetch = self._needs_fetch
         for w in held:
-            if w in self._needs_fetch:
-                self._needs_fetch.discard(w)
+            if w in needs_fetch:
+                needs_fetch.discard(w)
                 self._fetch_and_dispatch(w, 1)
             else:
                 self._enqueue_ready(w)
@@ -195,43 +287,74 @@ class SM:
         if block.paused:
             self.paused_blocks.remove(block)
         else:
-            self.blocks.remove(block)
+            blocks = self.blocks
+            idx = blocks.index(block)
+            last = blocks.pop()
+            if idx < len(blocks):
+                blocks[idx] = last
         self.gpu.gwde.notify_done()
         self.ensure_blocks()
+        if (self._counted_busy and not self.blocks
+                and not self.paused_blocks):
+            self._counted_busy = False
+            self.gpu.busy_sm_count -= 1
 
     # ------------------------------------------------------------------
     # Warp dispatch machinery
     # ------------------------------------------------------------------
+    def _dispatch_special(self, warp) -> None:
+        """Retire the warp or park it at the block barrier."""
+        prev = warp.state
+        block = warp.block
+        if warp.head_op == OP_DONE:
+            warp.state = W_DONE
+            if not warp.paused:
+                self.active_warps -= 1
+                if prev == W_SLEEP or prev == W_WAITMEM:
+                    self.waiting_warps -= 1
+            block.remaining -= 1
+            if block.remaining == 0:
+                self._block_finished(block)
+            return
+        warp.state = W_BARRIER
+        if not warp.paused and (prev == W_SLEEP or prev == W_WAITMEM):
+            self.waiting_warps -= 1
+        block.barrier_count += 1
+        if block.barrier_count >= block.remaining:
+            block.barrier_count = 0
+            # Snapshot before releasing: a released warp may arrive
+            # at the *next* barrier during this loop and must not be
+            # released twice.
+            waiters = [w for w in block.warps if w.state == W_BARRIER]
+            for w in waiters:
+                self._fetch_and_dispatch(w, 1)
+
     def _fetch_and_dispatch(self, warp, delay: int) -> None:
         """Fetch the warp's next operation and schedule its readiness."""
         op, payload = warp.program.next_op()
         warp.head_op = op
         warp.head_payload = payload
-        if op == OP_DONE:
-            warp.state = W_DONE
-            block = warp.block
-            block.remaining -= 1
-            if block.remaining == 0:
-                self._block_finished(block)
+        if op >= OP_BARRIER:
+            # OP_BARRIER and OP_DONE are the two largest opcodes (see
+            # instruction.py); everything below them sleeps until ready.
+            self._dispatch_special(warp)
             return
-        if op == OP_BARRIER:
-            block = warp.block
-            warp.state = W_BARRIER
-            block.barrier_count += 1
-            if block.barrier_count >= block.remaining:
-                block.barrier_count = 0
-                # Snapshot before releasing: a released warp may arrive
-                # at the *next* barrier during this loop and must not be
-                # released twice.
-                waiters = [w for w in block.warps if w.state == W_BARRIER]
-                for w in waiters:
-                    self._fetch_and_dispatch(w, 1)
-            return
+        prev = warp.state
         warp.state = W_SLEEP
-        self._seq += 1
-        heapq.heappush(self._sleep, (self.cycle + delay, self._seq, warp))
+        if (prev != W_SLEEP and prev != W_WAITMEM
+                and not warp.paused):
+            self.waiting_warps += 1
+        due = self.cycle + delay
+        buckets = self._sleep_buckets
+        bucket = buckets.get(due)
+        if bucket is None:
+            buckets[due] = [warp]
+        else:
+            bucket.append(warp)
 
     def _enqueue_ready(self, warp) -> None:
+        if warp.state == W_SLEEP:
+            self.waiting_warps -= 1
         if warp.head_op == OP_ALU:
             warp.state = W_READY_ALU
             self.ready_alu.append(warp)
@@ -239,44 +362,29 @@ class SM:
             warp.state = W_READY_MEM
             self.ready_mem.append(warp)
 
-    def _wake_due(self) -> None:
-        sleep = self._sleep
-        now = self.cycle
-        needs_fetch = self._needs_fetch
-        while sleep and sleep[0][0] <= now:
-            _, _, warp = heapq.heappop(sleep)
-            if warp.paused:
-                warp.block.held.append(warp)
-            elif warp in needs_fetch:
-                # An L1-hit load completed: advance past it now.
-                needs_fetch.discard(warp)
-                self._fetch_and_dispatch(warp, 0)
-            else:
-                self._enqueue_ready(warp)
-
     # ------------------------------------------------------------------
     # Issue stages
     # ------------------------------------------------------------------
     def _issue_mem(self) -> None:
         q = self.ready_mem
-        if not q:
-            return
-        cfg = self.cfg
-        lsu_has_space = len(self.lsu_queue) < cfg.lsu_queue_depth
-        for _ in range(cfg.mem_issue_width):
+        lsu_queue = self.lsu_queue
+        depth = self._lsu_depth
+        hooks = self.hooks
+        lsu_has_space = len(lsu_queue) < depth
+        for _ in range(self._mem_width):
             if not q:
                 break
             warp = q[0]
             op = warp.head_op
             if op == OP_TEX_LOAD:
-                if self.tex_outstanding >= cfg.texture_queue_depth:
+                if self.tex_outstanding >= self._tex_depth:
                     break
                 q.popleft()
                 self._issue_tex(warp)
             else:
                 if not lsu_has_space:
                     break
-                if self.hooks is not None:
+                if hooks is not None:
                     # CCWS-style prioritisation: prefer the first warp
                     # the controller protects.  A throttled warp may
                     # still issue when the LSU is about to run dry --
@@ -293,7 +401,7 @@ class SM:
                             break  # keep the LSU fed by protected warps
                         warp = q[0]
                     if warp.head_op == OP_TEX_LOAD:
-                        if self.tex_outstanding >= cfg.texture_queue_depth:
+                        if self.tex_outstanding >= self._tex_depth:
                             break
                         q.popleft()
                         self._issue_tex(warp)
@@ -301,17 +409,17 @@ class SM:
                 q.popleft()
                 lines = warp.head_payload
                 access = MemAccess(warp, lines, is_write=(op == OP_STORE))
-                self.lsu_queue.append(access)
-                lsu_has_space = len(self.lsu_queue) < cfg.lsu_queue_depth
+                lsu_queue.append(access)
+                lsu_has_space = len(lsu_queue) < depth
                 self.insts_issued += 1
                 self.mem_issued += 1
-                warp.insts_issued += 1
                 if op == OP_STORE:
                     self.stores_issued += 1
                     self._fetch_and_dispatch(warp, 1)
                 else:
                     self.loads_issued += 1
                     warp.state = W_WAITMEM
+                    self.waiting_warps += 1
 
     def _issue_tex(self, warp) -> None:
         """Issue a texture load: deep queue, no L1, no LSU back-pressure."""
@@ -321,100 +429,138 @@ class SM:
         self.insts_issued += 1
         self.mem_issued += 1
         self.loads_issued += 1
-        warp.insts_issued += 1
         warp.state = W_WAITMEM
+        self.waiting_warps += 1
         pending = self.tex_pending
+        memory = self.memory
+        ingress = memory.ingress
+        sm_id = self.sm_id
+        n = 0
         for line in lines:
             waiters = pending.get(line)
             if waiters is None:
                 pending[line] = [access]
-                self.gpu.memory.submit(self.sm_id, line, REQ_TEX)
+                # Inlined memory.submit: texture requests may exceed
+                # the ingress depth (deep outstanding capacity).
+                ingress.append((sm_id, line, REQ_TEX))
+                if len(ingress) > memory.peak_ingress:
+                    memory.peak_ingress = len(ingress)
             else:
                 waiters.append(access)
-            access.pending += 1
-            self.tex_outstanding += 1
-
-    def _issue_alu(self) -> None:
-        q = self.ready_alu
-        default_dep = self.cfg.alu_dep_latency
-        for _ in range(self.cfg.alu_issue_width):
-            if not q:
-                break
-            warp = q.popleft()
-            self.insts_issued += 1
-            self.alu_issued += 1
-            warp.insts_issued += 1
-            dep = getattr(warp.program, "dep_latency", default_dep)
-            self._fetch_and_dispatch(warp, dep)
+            n += 1
+        access.pending += n
+        self.tex_outstanding += n
 
     # ------------------------------------------------------------------
     # LSU drain and the miss path
     # ------------------------------------------------------------------
     def _lsu_drain(self) -> None:
-        if self._lsu_busy:
-            # A miss is still occupying the LSU's miss-handling path.
-            self._lsu_busy -= 1
-            return
+        # Only cycle_once calls this, after checking that the queue is
+        # non-empty and the miss-handling path is free (_lsu_busy == 0).
+        # Memory-side capacity checks and submission are inlined (the
+        # equivalent of memory.can_accept() / memory.submit()).
         queue = self.lsu_queue
-        if not queue:
-            return
         access = queue[0]
         line = access.lines[access.idx]
+        # Inlined l1.access(line): the probe-and-refresh dict dance,
+        # without the method call (this runs once per LSU cycle).
+        l1 = self.l1
+        st = self._l1_data[line % self._l1_sets]
         if access.is_write:
             # Write-through, no-allocate: every store line costs one
             # memory transaction; the warp has already moved on.
-            if not self.gpu.memory.can_accept():
+            memory = self.memory
+            ingress = memory.ingress
+            if len(ingress) >= self._ingress_depth:
                 return  # back-pressure: retry next cycle
-            self.l1.access(line)
-            self.gpu.memory.submit(self.sm_id, line, REQ_WRITE)
-            self._lsu_busy = self.cfg.l1_miss_handling_cycles - 1
+            if line in st:
+                l1.hits += 1
+                del st[line]
+                st[line] = None
+            else:
+                l1.misses += 1
+            ingress.append((self.sm_id, line, REQ_WRITE))
+            if len(ingress) > memory.peak_ingress:
+                memory.peak_ingress = len(ingress)
+            self._lsu_busy = self._miss_cycles
             access.idx += 1
-        elif self.l1.access(line):
+        elif line in st:
+            l1.hits += 1
+            del st[line]
+            st[line] = None
             access.idx += 1
         else:
+            l1.misses += 1
             if self.hooks is not None:
                 self.hooks.on_l1_miss(self, access.warp, line)
-            waiters = self.mshr.get(line)
+            mshr = self.mshr
+            waiters = mshr.get(line)
             if waiters is not None:
                 waiters.append(access)
                 access.pending += 1
                 access.idx += 1
-                self._lsu_busy = self.cfg.l1_miss_handling_cycles - 1
-            elif (len(self.mshr) < self.cfg.mshr_entries
-                  and self.gpu.memory.can_accept()):
-                self.mshr[line] = [access]
-                access.pending += 1
-                access.idx += 1
-                self.gpu.memory.submit(self.sm_id, line, REQ_READ)
-                self._lsu_busy = self.cfg.l1_miss_handling_cycles - 1
+                self._lsu_busy = self._miss_cycles
             else:
-                return  # MSHR or ingress full: stall the LSU head
+                memory = self.memory
+                ingress = memory.ingress
+                if (len(mshr) < self._mshr_entries
+                        and len(ingress) < self._ingress_depth):
+                    mshr[line] = [access]
+                    access.pending += 1
+                    access.idx += 1
+                    ingress.append((self.sm_id, line, REQ_READ))
+                    if len(ingress) > memory.peak_ingress:
+                        memory.peak_ingress = len(ingress)
+                    self._lsu_busy = self._miss_cycles
+                else:
+                    return  # MSHR or ingress full: stall the LSU head
         if access.idx == len(access.lines):
             queue.popleft()
             access.issued_all = True
             if not access.is_write and access.pending == 0:
                 # Pure L1 hit: data returns after the hit latency; the
                 # wake path sees the needs-fetch mark and advances the
-                # warp past the completed load.
+                # warp past the completed load.  W_WAITMEM -> W_SLEEP
+                # keeps the warp in the waiting set: no counter change.
                 warp = access.warp
                 warp.state = W_SLEEP
                 self._needs_fetch.add(warp)
-                self._seq += 1
-                heapq.heappush(
-                    self._sleep,
-                    (self.cycle + self.cfg.l1_hit_latency, self._seq, warp))
+                due = self.cycle + self._hit_latency
+                buckets = self._sleep_buckets
+                bucket = buckets.get(due)
+                if bucket is None:
+                    buckets[due] = [warp]
+                else:
+                    bucket.append(warp)
 
     def receive_fill(self, line: int, kind: int) -> None:
         """A read response arrived from the memory system."""
         if kind == REQ_TEX:
             waiters = self.tex_pending.pop(line, ())
+            # One outstanding slot per waiter retires with this line;
+            # nothing on the completion path reads tex_outstanding, so
+            # the bulk decrement is equivalent to the per-waiter one.
+            self.tex_outstanding -= len(waiters)
             for access in waiters:
                 access.pending -= 1
-                self.tex_outstanding -= 1
                 if access.pending == 0:
                     self._complete_load(access.warp)
             return
-        evicted = self.l1.fill(line)
+        # Inlined l1.fill(line): allocate-on-fill as MRU, evicting the
+        # LRU line (the set dict's first key) past the way limit.
+        l1 = self.l1
+        st = self._l1_data[line % self._l1_sets]
+        evicted = None
+        if line in st:
+            del st[line]
+            st[line] = None
+        else:
+            l1.fills += 1
+            st[line] = None
+            if len(st) > l1.ways:
+                l1.evictions += 1
+                evicted = next(iter(st))
+                del st[evicted]
         if self.hooks is not None and evicted is not None:
             self.hooks.on_l1_evict(self, evicted)
         waiters = self.mshr.pop(line, ())
@@ -436,6 +582,8 @@ class SM:
     # Counter sampling (Section IV-A)
     # ------------------------------------------------------------------
     def _sample(self, times: int = 1) -> None:
+        if self.debug_counters:
+            self._verify_counters()
         cfg = self.cfg
         cap_mem = (cfg.mem_issue_width
                    if len(self.lsu_queue) < cfg.lsu_queue_depth else 0)
@@ -445,16 +593,8 @@ class SM:
         xalu = len(self.ready_alu) - cfg.alu_issue_width
         if xalu < 0:
             xalu = 0
-        waiting = 0
-        active = 0
-        for block in self.blocks:
-            for w in block.warps:
-                st = w.state
-                if st == W_DONE:
-                    continue
-                active += 1
-                if st == W_SLEEP or st == W_WAITMEM:
-                    waiting += 1
+        active = self.active_warps
+        waiting = self.waiting_warps
         idle = 0 if (self.ready_alu or self.ready_mem) else 1
         self.epoch_active += active * times
         self.epoch_waiting += waiting * times
@@ -468,6 +608,30 @@ class SM:
         self.tot_xalu += xalu * times
         self.tot_idle += idle * times
         self.tot_samples += times
+
+    def _verify_counters(self) -> None:
+        """Cross-check the incremental counters against a full scan."""
+        active = 0
+        waiting = 0
+        for block in self.blocks:
+            for w in block.warps:
+                st = w.state
+                if st == W_DONE:
+                    continue
+                active += 1
+                if st == W_SLEEP or st == W_WAITMEM:
+                    waiting += 1
+        if active != self.active_warps or waiting != self.waiting_warps:
+            raise SimulationError(
+                f"SM{self.sm_id} cycle {self.cycle}: incremental "
+                f"counters diverged from scan (active "
+                f"{self.active_warps} vs {active}, waiting "
+                f"{self.waiting_warps} vs {waiting})")
+        stale = [c for c in self._sleep_buckets if c < self.cycle]
+        if stale:
+            raise SimulationError(
+                f"SM{self.sm_id} cycle {self.cycle}: missed sleep "
+                f"buckets at {sorted(stale)}")
 
     def read_epoch(self):
         """Return and reset the per-epoch counter averages.
@@ -495,17 +659,127 @@ class SM:
     # ------------------------------------------------------------------
     # Cycle execution
     # ------------------------------------------------------------------
-    def cycle_once(self, sample_interval: int) -> None:
-        """Execute one SM cycle."""
-        self.cycle += 1
-        if self._sleep:
-            self._wake_due()
-        if self.cycle % sample_interval == 0:
+    def cycle_once(self, sample_interval: int,
+                   W_SLEEP=W_SLEEP, W_READY_ALU=W_READY_ALU,
+                   W_READY_MEM=W_READY_MEM, OP_ALU=OP_ALU,
+                   OP_BARRIER=OP_BARRIER,
+                   OP_TEX_LOAD=OP_TEX_LOAD) -> None:
+        """Execute one SM cycle.
+
+        The wake and ALU-issue stages are inlined rather than split
+        into helpers: this method runs for every non-parked SM cycle,
+        and the call overhead of the helpers was a measurable fraction
+        of total simulation time.  The trailing keyword parameters bind
+        module-level constants as locals (never pass them).
+        """
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        buckets = self._sleep_buckets
+        bucket = buckets.pop(cycle, None)
+        if bucket is not None:
+            # Wake every warp due this cycle (dispatch may add more).
+            self.gpu._ff_blocked = False
+            needs_fetch = self._needs_fetch
+            ready_alu = self.ready_alu
+            ready_mem = self.ready_mem
+            woken = 0
+            while True:
+                for warp in bucket:
+                    if warp.paused:
+                        warp.block.held.append(warp)
+                    elif needs_fetch and warp in needs_fetch:
+                        # An L1-hit load completed: advance past it.
+                        needs_fetch.discard(warp)
+                        self._fetch_and_dispatch(warp, 0)
+                    else:
+                        if warp.head_op == OP_ALU:
+                            warp.state = W_READY_ALU
+                            ready_alu.append(warp)
+                        else:
+                            warp.state = W_READY_MEM
+                            ready_mem.append(warp)
+                        woken += 1
+                # A zero-delay fetch above may have scheduled new work
+                # for this same cycle; drain until the bucket is empty.
+                bucket = buckets.pop(cycle, None)
+                if bucket is None:
+                    break
+            self.waiting_warps -= woken
+        if cycle == self._next_sample_cycle:
             self._sample()
-        self._issue_mem()
-        if self.ready_alu:
-            self._issue_alu()
-        if self.lsu_queue or self._lsu_busy:
+            self._next_sample_cycle = cycle + sample_interval
+        rm = self.ready_mem
+        if rm and (len(self.lsu_queue) < self._lsu_depth
+                   or rm[0].head_op == OP_TEX_LOAD):
+            # When the LSU queue is full and the head is not a texture
+            # load, _issue_mem provably does nothing (it breaks before
+            # any rotation or issue), so the call is skipped outright.
+            self._issue_mem()
+        q = self.ready_alu
+        if q:
+            # Dual-issue arithmetic stage.  Consecutive issues usually
+            # share a dependence latency, so the due bucket of the
+            # previous issue is cached and reused.
+            width = self._alu_width
+            issued = 0
+            slept = 0
+            last_due = -1
+            last_bucket = None
+            while q:
+                warp = q.popleft()
+                issued += 1
+                prog = warp.program
+                try:
+                    j = prog._j
+                except AttributeError:
+                    j = 0
+                if j > 0:
+                    # Inlined WarpProgram fast path: mid ALU run, the
+                    # next op is another ALU and the head stands.
+                    prog._j = j - 1
+                    warp.state = W_SLEEP
+                    slept += 1
+                    due = cycle + warp.dep_latency
+                    if due != last_due:
+                        last_bucket = buckets.get(due)
+                        if last_bucket is None:
+                            last_bucket = buckets[due] = [warp]
+                            last_due = due
+                            if issued == width:
+                                break
+                            continue
+                        last_due = due
+                    last_bucket.append(warp)
+                else:
+                    op, payload = prog.next_op()
+                    warp.head_op = op
+                    warp.head_payload = payload
+                    if op < OP_BARRIER:
+                        warp.state = W_SLEEP
+                        slept += 1
+                        due = cycle + warp.dep_latency
+                        if due != last_due:
+                            last_bucket = buckets.get(due)
+                            if last_bucket is None:
+                                last_bucket = buckets[due] = [warp]
+                                last_due = due
+                                if issued == width:
+                                    break
+                                continue
+                            last_due = due
+                        last_bucket.append(warp)
+                    else:
+                        self._dispatch_special(warp)
+                if issued == width:
+                    break
+            self.insts_issued += issued
+            self.alu_issued += issued
+            self.waiting_warps += slept
+        if self._lsu_busy:
+            # Miss-handling occupancy countdown, inlined from
+            # _lsu_drain: nothing else can happen while it runs.
+            self._lsu_busy -= 1
+        elif self.lsu_queue:
             self._lsu_drain()
 
     # ------------------------------------------------------------------
@@ -518,15 +792,19 @@ class SM:
 
     def next_wake_cycle(self):
         """SM cycle of the next sleeping warp's wake, or None."""
-        return self._sleep[0][0] if self._sleep else None
+        buckets = self._sleep_buckets
+        return min(buckets) if buckets else None
 
     def skip_cycles(self, n: int, sample_interval: int) -> None:
         """Advance ``n`` cycles during which state is provably constant."""
         start = self.cycle
-        self.cycle += n
-        k = self.cycle // sample_interval - start // sample_interval
+        cycle = start + n
+        self.cycle = cycle
+        k = cycle // sample_interval - start // sample_interval
         if k:
             self._sample(times=k)
+            self._next_sample_cycle = (
+                cycle // sample_interval + 1) * sample_interval
 
     # ------------------------------------------------------------------
     # Introspection helpers

@@ -49,9 +49,10 @@ class Warp:
     """One warp: program cursor plus scheduler bookkeeping."""
 
     __slots__ = ("wid", "block", "program", "state", "head_op",
-                 "head_payload", "paused", "insts_issued")
+                 "head_payload", "paused", "dep_latency")
 
-    def __init__(self, wid: int, block: "ThreadBlock", program) -> None:
+    def __init__(self, wid: int, block: "ThreadBlock", program,
+                 dep_latency: int = 1) -> None:
         self.wid = wid
         self.block = block
         self.program = program
@@ -59,7 +60,9 @@ class Warp:
         self.head_op = OP_ALU
         self.head_payload = None
         self.paused = False
-        self.insts_issued = 0
+        #: Dependent-issue interval after an ALU instruction, resolved
+        #: once at construction so the issue stage never looks it up.
+        self.dep_latency = dep_latency
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Warp({self.wid}, block={self.block.bid}, "
@@ -70,11 +73,14 @@ class ThreadBlock:
     """A thread block resident on an SM (active or paused)."""
 
     __slots__ = ("bid", "warps", "remaining", "barrier_count", "paused",
-                 "held")
+                 "held", "seq")
 
     def __init__(self, bid: int) -> None:
         self.bid = bid
         self.warps = []
+        #: Activation stamp (set by the SM at launch and unpause); the
+        #: CTA-pausing victim is the block with the highest stamp.
+        self.seq = 0
         #: Warps of this block that have not yet retired.
         self.remaining = 0
         #: Warps currently parked at the block barrier.

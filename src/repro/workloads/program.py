@@ -65,7 +65,9 @@ class WarpProgram:
     __slots__ = ("_phases", "_iters", "_models", "_phase_idx", "_i",
                  "_phase_end", "_j", "_emit_mem", "_pending_barrier",
                  "_barrier_interval", "_rng", "_model", "_phase",
-                 "total_iterations", "dep_latency")
+                 "total_iterations", "dep_latency",
+                 "_sf", "_tex", "_mnext", "_alu", "_jitter", "_random",
+                 "_randbelow", "_jspan")
 
     def __init__(self, phases: Tuple[Phase, ...], iterations: int,
                  block_uid: int, warp_idx: int, seed: int,
@@ -101,23 +103,37 @@ class WarpProgram:
         self._j = 0
         self._emit_mem = False
         self._pending_barrier = False
+        # Per-phase attributes cached as plain slots (refreshed on
+        # phase switch) so the per-operation path never walks the
+        # frozen dataclass; bound methods skip the lookup entirely.
+        self._sf = phases[0].store_fraction
+        self._tex = phases[0].texture
+        self._alu = phases[0].alu_per_mem
+        self._jitter = phases[0].alu_jitter
+        self._mnext = self._models[0].next
+        self._random = self._rng.random
+        # randint(-j, j) is exactly -j + _randbelow(2j + 1) (see
+        # random.Random.randrange); binding _randbelow keeps the draw
+        # sequence identical while skipping two wrapper frames.
+        self._randbelow = self._rng._randbelow
+        self._jspan = 2 * self._jitter + 1
 
     def next_op(self):
         """Return the warp's next ``(opcode, payload)`` operation."""
-        if self._j > 0:
-            self._j -= 1
+        j = self._j
+        if j > 0:
+            self._j = j - 1
             return _ALU
         if self._emit_mem:
             self._emit_mem = False
-            phase = self._phase
-            if phase.store_fraction and (
-                    self._rng.random() < phase.store_fraction):
+            sf = self._sf
+            if sf and self._random() < sf:
                 op = OP_STORE
-            elif phase.texture:
+            elif self._tex:
                 op = OP_TEX_LOAD
             else:
                 op = OP_LOAD
-            return (op, self._model.next())
+            return (op, self._mnext())
         if self._pending_barrier:
             self._pending_barrier = False
             return _BARRIER
@@ -126,18 +142,38 @@ class WarpProgram:
         if i >= self.total_iterations:
             return _DONE
         while i >= self._phase_end:
-            self._phase_idx += 1
-            self._phase = self._phases[self._phase_idx]
-            self._model = self._models[self._phase_idx]
-            self._phase_end = self._iters[self._phase_idx]
+            idx = self._phase_idx + 1
+            self._phase_idx = idx
+            phase = self._phases[idx]
+            model = self._models[idx]
+            self._phase = phase
+            self._model = model
+            self._phase_end = self._iters[idx]
+            self._sf = phase.store_fraction
+            self._tex = phase.texture
+            self._alu = phase.alu_per_mem
+            self._jitter = phase.alu_jitter
+            self._jspan = 2 * phase.alu_jitter + 1
+            self._mnext = model.next
         self._i = i + 1
-        phase = self._phase
-        alu = phase.alu_per_mem
-        if phase.alu_jitter:
-            alu += self._rng.randint(-phase.alu_jitter, phase.alu_jitter)
-        self._j = alu
-        self._emit_mem = True
+        alu = self._alu
+        jitter = self._jitter
+        if jitter:
+            alu += self._randbelow(self._jspan) - jitter
         if self._barrier_interval and (
                 self._i % self._barrier_interval == 0):
             self._pending_barrier = True
-        return self.next_op()
+        if alu:
+            # First ALU of the run; the memory access follows it.
+            self._j = alu - 1
+            self._emit_mem = True
+            return _ALU
+        # No ALU run this iteration: emit the memory access directly.
+        sf = self._sf
+        if sf and self._random() < sf:
+            op = OP_STORE
+        elif self._tex:
+            op = OP_TEX_LOAD
+        else:
+            op = OP_LOAD
+        return (op, self._mnext())

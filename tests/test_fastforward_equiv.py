@@ -1,0 +1,96 @@
+"""Fast-forward equivalence and incremental-counter verification.
+
+The quiescent fast-forward and the event-driven counters are pure
+performance machinery: a run with fast-forward disabled must produce
+exactly the same epochs, counters, and power segments as the optimized
+path, across VF-changing controllers and CTA pausing.  The debug-mode
+scan (``SIM_DEBUG=1`` / ``SM.debug_counters``) cross-checks the
+incremental ``active_warps``/``waiting_warps`` against a full scan at
+every sample.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import (cache_spec, compute_spec, memory_spec, tiny_sim,
+                     tiny_workload)
+from repro.core.equalizer import EqualizerController
+from repro.errors import SimulationError
+from repro.sim.gpu import GPU
+
+SPECS = {
+    "compute": compute_spec,
+    "memory": memory_spec,
+    "cache": cache_spec,
+}
+
+CONTROLLERS = {
+    "none": lambda: None,
+    "eq-perf": lambda: EqualizerController("performance"),
+    "eq-energy": lambda: EqualizerController("energy"),
+}
+
+
+def _run(spec, make_controller, fast_forward, seed=7, debug=False):
+    gpu = GPU(tiny_sim(), controller=make_controller())
+    gpu.enable_fast_forward = fast_forward
+    if debug:
+        for sm in gpu.sms:
+            sm.debug_counters = True
+    result = gpu.run(tiny_workload(spec, seed=seed))
+    return gpu, result
+
+
+@pytest.mark.parametrize("kernel", sorted(SPECS))
+@pytest.mark.parametrize("controller", sorted(CONTROLLERS))
+def test_fast_forward_is_results_neutral(kernel, controller):
+    """FF on vs off: identical EpochRecords, counters, and segments.
+
+    The equalizer controllers move VF states and pause/unpause CTAs
+    mid-run, so this covers skips across rate changes and pausing.
+    """
+    spec = SPECS[kernel]()
+    make = CONTROLLERS[controller]
+    gpu_ff, with_ff = _run(spec, make, fast_forward=True, debug=True)
+    gpu_sl, without = _run(spec, make, fast_forward=False, debug=True)
+    assert with_ff.to_dict() == without.to_dict()
+    # The slow run must actually have executed more explicit cycles is
+    # not observable from results (by design); ticks must still agree.
+    assert gpu_ff.tick == gpu_sl.tick
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=10, deadline=None)
+def test_fast_forward_neutral_across_seeds(seed):
+    spec = cache_spec(total_blocks=8, iterations=12)
+    make = CONTROLLERS["eq-perf"]
+    _, with_ff = _run(spec, make, fast_forward=True, seed=seed)
+    _, without = _run(spec, make, fast_forward=False, seed=seed)
+    assert with_ff.to_dict() == without.to_dict()
+
+
+def test_debug_scan_validates_counters_through_a_run():
+    """A full run with the debug scan enabled samples cleanly."""
+    _, result = _run(memory_spec(), CONTROLLERS["eq-energy"],
+                     fast_forward=True, debug=True)
+    assert result.tot_samples > 0
+
+
+def test_debug_scan_detects_corrupted_counters():
+    gpu = GPU(tiny_sim())
+    sm = gpu.sms[0]
+    sm.debug_counters = True
+    sm._sample()  # empty SM: counters agree with the (empty) scan
+    sm.active_warps += 1
+    with pytest.raises(SimulationError, match="diverged"):
+        sm._sample()
+
+
+def test_debug_scan_detects_missed_wakeups():
+    gpu = GPU(tiny_sim())
+    sm = gpu.sms[0]
+    sm.debug_counters = True
+    sm.cycle = 10
+    sm._sleep_buckets[4] = []
+    with pytest.raises(SimulationError, match="missed sleep"):
+        sm._sample()
