@@ -15,6 +15,13 @@ cache      ``spmv``     L1 thrash, miss-path occupancy, CTA-pausing regimes
 texture    ``leuko-1``  the deep texture path and its response flood
 ========== ============ ====================================================
 
+The same four kernels are additionally timed on the per-SM-VRM GPU
+variant (rows keyed ``<kernel>@per-sm-vrm``), which exercises the
+per-SM clock domains, per-SM power segmentation, and the per-SM
+Equalizer controller -- the configuration DVFS sweeps spend their
+cycles in, and since the single-source cycle-kernel refactor a first-
+class fast path rather than a slow method-call loop.
+
 Results are written as JSON (``BENCH_sim.json`` by default) and two
 result files can be compared with a regression threshold; CI keeps a
 committed quick-mode baseline honest with ``--compare``.  Simulations
@@ -43,6 +50,15 @@ REPRESENTATIVE_KERNELS: Tuple[Tuple[str, str], ...] = (
     ("texture", "leuko-1"),
 )
 
+#: Row-key suffix of the per-SM-VRM scenario rows.
+PER_SM_VRM_SUFFIX = "@per-sm-vrm"
+
+#: Kernels timed on the per-SM-VRM variant (with the per-SM Equalizer
+#: controller in performance mode, so the run exercises real per-SM VF
+#: divergence, not just the extra clock-domain bookkeeping).
+PER_SM_VRM_KERNELS: Tuple[str, ...] = tuple(
+    k for _, k in REPRESENTATIVE_KERNELS)
+
 
 class BenchError(ReproError):
     """A benchmark run or comparison failed."""
@@ -58,9 +74,12 @@ def geomean(values: Iterable[float]) -> float:
 
 
 def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
-                 sim=None) -> Dict:
+                 sim=None, variant: str = "chip") -> Dict:
     """Time one kernel end to end; return its result row.
 
+    ``variant`` selects the GPU under test: ``"chip"`` runs the
+    standard chip-wide-VRM GPU, ``"per-sm-vrm"`` the per-SM-VRM
+    variant with the per-SM Equalizer controller in performance mode.
     Each repeat rebuilds the workload (programs are stateful iterators)
     and re-runs the full simulation; the reported wall time is the best
     of the repeats, which is the standard way to shave scheduler noise
@@ -71,6 +90,8 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
 
     if repeats < 1:
         raise BenchError("repeats must be >= 1")
+    if variant not in ("chip", "per-sm-vrm"):
+        raise BenchError(f"unknown bench variant {variant!r}")
     if sim is None:
         from ..experiments.common import default_sim
         sim = default_sim()
@@ -81,8 +102,18 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
     ticks = None
     for _ in range(repeats):
         workload = build_workload(spec, seed=sim.seed)
-        start = time.perf_counter()
-        run = run_kernel(workload, sim)
+        if variant == "chip":
+            start = time.perf_counter()
+            run = run_kernel(workload, sim)
+        else:
+            from ..sim.per_sm_vrm import (PerSMEqualizerController,
+                                          run_kernel_per_sm_vrm)
+            # A fresh controller per repeat: it accumulates a decision
+            # log and binds to the GPU it attaches to.
+            controller = PerSMEqualizerController(
+                "performance", config=sim.equalizer)
+            start = time.perf_counter()
+            run = run_kernel_per_sm_vrm(workload, sim, controller)
         wall = time.perf_counter() - start
         if ticks is None:
             ticks = run.result.ticks
@@ -111,6 +142,14 @@ def run_suite(kernels: Optional[List[str]] = None, scale: float = 1.0,
         row = bench_kernel(name, scale=scale, repeats=repeats)
         row["role"] = roles.get(name, "extra")
         rows[name] = row
+    if kernels is None:
+        # The per-SM-VRM scenario accompanies the default suite only;
+        # an explicit --kernels subset times exactly what it names.
+        for name in PER_SM_VRM_KERNELS:
+            row = bench_kernel(name, scale=scale, repeats=repeats,
+                               variant="per-sm-vrm")
+            row["role"] = "per-sm-vrm"
+            rows[name + PER_SM_VRM_SUFFIX] = row
     return {
         "format": BENCH_FORMAT,
         "mode": "quick" if quick else "full",
@@ -169,14 +208,14 @@ def compare(base: Dict, new: Dict, threshold: float = 0.30
         lines.append(f"note: kernels missing from new run: "
                      f"{', '.join(missing)}")
     ratios = []
-    lines.append(f"{'kernel':<10} {'base t/s':>12} {'new t/s':>12} "
+    lines.append(f"{'kernel':<20} {'base t/s':>12} {'new t/s':>12} "
                  f"{'speedup':>8}")
     for name in common:
         b = base["kernels"][name]["ticks_per_sec"]
         n = new["kernels"][name]["ticks_per_sec"]
         ratio = n / b
         ratios.append(ratio)
-        lines.append(f"{name:<10} {b:>12.0f} {n:>12.0f} {ratio:>7.2f}x")
+        lines.append(f"{name:<20} {b:>12.0f} {n:>12.0f} {ratio:>7.2f}x")
     gm = geomean(ratios)
     ok = gm >= (1.0 - threshold)
     lines.append(f"geomean speedup: {gm:.2f}x "

@@ -52,7 +52,7 @@ def main(argv=None) -> int:
         results = run_suite(kernels=args.kernels, scale=args.scale,
                             repeats=args.repeat, quick=args.quick)
         for name, row in results["kernels"].items():
-            print(f"{name:<10} {row['ticks']:>9d} ticks "
+            print(f"{name:<20} {row['ticks']:>9d} ticks "
                   f"{row['wall_s']:>8.2f}s "
                   f"{row['ticks_per_sec']:>12.0f} ticks/s")
         print(f"geomean: {results['geomean_ticks_per_sec']:.0f} ticks/s")

@@ -5,6 +5,11 @@ clock).  The SM and memory clock domains execute a rate-scaled number
 of cycles per tick, so changing a domain's VF state speeds up or slows
 down exactly that domain, never wall-clock bookkeeping.
 
+The run loop itself (:meth:`GPU._cycle_loop`) is compiled at import
+time from the templates in :mod:`repro.sim.cycle_kernel`; the setup
+that precedes it (GWDE construction, kernel preparation, controller
+notification) lives in :meth:`GPU.run_invocation`.
+
 The loop carries three cross-cutting responsibilities:
 
 * **Epoch bookkeeping** -- every ``epoch_cycles`` SM cycles it reads
@@ -31,15 +36,14 @@ switched off (:attr:`GPU.enable_fast_forward`) to cross-check a run.
 
 import gc
 
-from ..config import LINE_BYTES, SimConfig, VF_NORMAL, VF_STATES, vf_ratio
+from ..config import SimConfig, VF_NORMAL, VF_STATES, vf_ratio
 from ..errors import SimulationError
 from .clock import ClockDomain
+from .cycle_kernel import build_chip_cycle_loop
 from .gwde import GWDE
-from .instruction import OP_ALU, OP_BARRIER, OP_TEX_LOAD
-from .memory import MemorySubsystem, REQ_READ, REQ_WRITE
+from .memory import MemorySubsystem
 from .results import EpochRecord, KernelResult, RunResult, Segment
 from .sm import SM
-from .warp import W_READY_ALU, W_READY_MEM, W_SLEEP
 
 
 class GPU:
@@ -193,384 +197,14 @@ class GPU:
             self.controller.on_invocation_start(self, invocation)
         for sm in self.sms:
             sm.ensure_blocks()
-        start_tick = self.tick
-        interval = self.sim.equalizer.sample_interval
-        epoch_cycles = self.sim.equalizer.epoch_cycles
-        max_ticks = self.sim.max_ticks
-        sms = self.sms
-        nsms = len(sms)
-        orders = [[sms[i] for i in range(s, nsms)]
-                  + [sms[i] for i in range(s)]
-                  for s in range(nsms)]
-        memory = self.memory
-        sm_domain = self.sm_domain
-        mem_domain = self.mem_domain
-        gwde = self.gwde
-        self._ff_blocked = False
-        # Module constants as locals for the inlined SM cycle below.
-        w_sleep = W_SLEEP
-        w_ready_alu = W_READY_ALU
-        w_ready_mem = W_READY_MEM
-        op_alu = OP_ALU
-        op_barrier = OP_BARRIER
-        op_tex = OP_TEX_LOAD
-        # Stable memory-system structures for the idle-cycle check and
-        # the inlined LSU drain.
-        mem_resp = memory._responses
-        mem_ingress = memory.ingress
-        mem_dramq = memory.dram_queue
-        dram_bpc = memory.cfg.dram_bytes_per_cycle
-        req_read = REQ_READ
-        req_write = REQ_WRITE
-        # Memory-cycle constants for the inlined single-cycle path
-        # (the common rate-1.0 case); see MemorySubsystem.cycle.
-        mem_l2 = memory.l2
-        l2_data = mem_l2._data
-        l2_sets = mem_l2.sets
-        l2_ways = mem_l2.ways
-        l2_ports = memory.cfg.l2_ports
-        l2_latency = memory.cfg.l2_latency
-        dram_cap = memory.cfg.dram_queue_depth
-        dram_latency = memory.cfg.dram_latency
-        line_bytes = LINE_BYTES
-        deliver = memory.deliver
-        while not gwde.drained or self.busy_sm_count:
-            if self.tick >= max_ticks:
-                raise SimulationError(
-                    f"{workload.name}: exceeded max_ticks={max_ticks}")
-            if (not self._ff_blocked and not memory.ingress
-                    and not memory.dram_queue
-                    and self.enable_fast_forward):
-                for sm in sms:
-                    if (sm.ready_alu or sm.ready_mem or sm.lsu_queue
-                            or sm._lsu_busy):
-                        break
-                else:
-                    if self._fast_forward(interval):
-                        continue
-                    # No skippable span until the next wake/launch/
-                    # response event; skip the scans until then.
-                    self._ff_blocked = True
-            tick = self.tick + 1
-            self.tick = tick
-            # Inlined sm_domain.advance(): same accumulator arithmetic,
-            # without the per-tick method call.
-            acc = sm_domain._acc + sm_domain.rate
-            n = int(acc)
-            sm_domain._acc = acc - n
-            cbase = sm_domain.cycles
-            sm_domain.cycles = cbase + n
-            # Rotate the service order so no SM systematically wins
-            # ingress arbitration (a fixed order starves high ids).
-            order = orders[tick % nsms]
-            for j in range(n):
-                target = cbase + j + 1
-                for sm in order:
-                    # Per-SM idle skipping: an SM with no issuable or
-                    # LSU work and no warp due this cycle cannot do
-                    # anything observable, so it parks (its clock lags)
-                    # until a wake, fill, or epoch replays the idle
-                    # span via skip_cycles.
-                    #
-                    # The body below is SM.cycle_once inlined verbatim
-                    # (self -> sm, cycle -> target): the call itself
-                    # and the duplicated attribute loads between the
-                    # idle gate and the method body were a measurable
-                    # fraction of total simulation time.  Keep the two
-                    # in sync -- the bit-identity suite and the
-                    # fast-forward property test guard the pairing.
-                    # Popping the due bucket doubles as the gate's
-                    # membership test (a miss pops nothing).
-                    buckets = sm._sleep_buckets
-                    bucket = buckets.pop(target, None)
-                    ready_alu = sm.ready_alu
-                    ready_mem = sm.ready_mem
-                    lsu_queue = sm.lsu_queue
-                    lsu_busy = sm._lsu_busy
-                    if bucket is None and not (
-                            ready_alu or ready_mem
-                            or lsu_queue or lsu_busy):
-                        continue
-                    lag = target - 1 - sm.cycle
-                    if lag:
-                        sm.skip_cycles(lag, interval)
-                    sm.cycle = target
-                    if bucket is not None:
-                        # Wake every warp due this cycle.
-                        self._ff_blocked = False
-                        needs_fetch = sm._needs_fetch
-                        woken = 0
-                        while True:
-                            for warp in bucket:
-                                if warp.paused:
-                                    warp.block.held.append(warp)
-                                elif (needs_fetch
-                                        and warp in needs_fetch):
-                                    needs_fetch.discard(warp)
-                                    sm._fetch_and_dispatch(warp, 0)
-                                else:
-                                    if warp.head_op == op_alu:
-                                        warp.state = w_ready_alu
-                                        ready_alu.append(warp)
-                                    else:
-                                        warp.state = w_ready_mem
-                                        ready_mem.append(warp)
-                                    woken += 1
-                            bucket = buckets.pop(target, None)
-                            if bucket is None:
-                                break
-                        sm.waiting_warps -= woken
-                    if target == sm._next_sample_cycle:
-                        sm._sample()
-                        sm._next_sample_cycle = target + interval
-                    if ready_mem and (
-                            len(lsu_queue) < sm._lsu_depth
-                            or ready_mem[0].head_op == op_tex):
-                        sm._issue_mem()
-                    if ready_alu:
-                        width = sm._alu_width
-                        issued = 0
-                        slept = 0
-                        last_due = -1
-                        last_bucket = None
-                        while ready_alu:
-                            warp = ready_alu.popleft()
-                            issued += 1
-                            prog = warp.program
-                            try:
-                                jj = prog._j
-                            except AttributeError:
-                                jj = 0
-                            if jj > 0:
-                                prog._j = jj - 1
-                                warp.state = w_sleep
-                                slept += 1
-                                due = target + warp.dep_latency
-                                if due != last_due:
-                                    last_bucket = buckets.get(due)
-                                    if last_bucket is None:
-                                        last_bucket = buckets[due] = [
-                                            warp]
-                                        last_due = due
-                                        if issued == width:
-                                            break
-                                        continue
-                                    last_due = due
-                                last_bucket.append(warp)
-                            else:
-                                op, payload = prog.next_op()
-                                warp.head_op = op
-                                warp.head_payload = payload
-                                if op < op_barrier:
-                                    warp.state = w_sleep
-                                    slept += 1
-                                    due = target + warp.dep_latency
-                                    if due != last_due:
-                                        last_bucket = buckets.get(due)
-                                        if last_bucket is None:
-                                            last_bucket = buckets[
-                                                due] = [warp]
-                                            last_due = due
-                                            if issued == width:
-                                                break
-                                            continue
-                                        last_due = due
-                                    last_bucket.append(warp)
-                                else:
-                                    sm._dispatch_special(warp)
-                            if issued == width:
-                                break
-                        sm.insts_issued += issued
-                        sm.alu_issued += issued
-                        sm.waiting_warps += slept
-                    if lsu_busy:
-                        # Still valid: only the LSU drain below writes
-                        # _lsu_busy, and it has not run this cycle.
-                        sm._lsu_busy = lsu_busy - 1
-                    elif lsu_queue:
-                        # SM._lsu_drain inlined verbatim (self -> sm;
-                        # the early returns fall through -- a blocked
-                        # head leaves access.idx short of len(lines),
-                        # so the completion tail is a no-op anyway).
-                        access = lsu_queue[0]
-                        line = access.lines[access.idx]
-                        l1 = sm.l1
-                        st = sm._l1_data[line % sm._l1_sets]
-                        if access.is_write:
-                            if len(mem_ingress) < sm._ingress_depth:
-                                if line in st:
-                                    l1.hits += 1
-                                    del st[line]
-                                    st[line] = None
-                                else:
-                                    l1.misses += 1
-                                mem_ingress.append(
-                                    (sm.sm_id, line, req_write))
-                                if (len(mem_ingress)
-                                        > memory.peak_ingress):
-                                    memory.peak_ingress = len(
-                                        mem_ingress)
-                                sm._lsu_busy = sm._miss_cycles
-                                access.idx += 1
-                        elif line in st:
-                            l1.hits += 1
-                            del st[line]
-                            st[line] = None
-                            access.idx += 1
-                        else:
-                            l1.misses += 1
-                            if sm.hooks is not None:
-                                sm.hooks.on_l1_miss(
-                                    sm, access.warp, line)
-                            mshr = sm.mshr
-                            waiters = mshr.get(line)
-                            if waiters is not None:
-                                waiters.append(access)
-                                access.pending += 1
-                                access.idx += 1
-                                sm._lsu_busy = sm._miss_cycles
-                            elif (len(mshr) < sm._mshr_entries
-                                    and len(mem_ingress)
-                                    < sm._ingress_depth):
-                                mshr[line] = [access]
-                                access.pending += 1
-                                access.idx += 1
-                                mem_ingress.append(
-                                    (sm.sm_id, line, req_read))
-                                if (len(mem_ingress)
-                                        > memory.peak_ingress):
-                                    memory.peak_ingress = len(
-                                        mem_ingress)
-                                sm._lsu_busy = sm._miss_cycles
-                        if access.idx == len(access.lines):
-                            lsu_queue.popleft()
-                            access.issued_all = True
-                            if (not access.is_write
-                                    and access.pending == 0):
-                                warp = access.warp
-                                warp.state = w_sleep
-                                sm._needs_fetch.add(warp)
-                                due = target + sm._hit_latency
-                                bucket = buckets.get(due)
-                                if bucket is None:
-                                    buckets[due] = [warp]
-                                else:
-                                    bucket.append(warp)
-            acc = mem_domain._acc + mem_domain.rate
-            m = int(acc)
-            mem_domain._acc = acc - m
-            mem_domain.cycles += m
-            if m == 1:
-                # MemorySubsystem.cycle inlined for the common
-                # single-cycle case, with the cache/config constants
-                # hoisted out of the tick loop.  Keep in sync with the
-                # method, which remains the path for m != 1 (DVFS'd
-                # memory domains) and for per_sm_vrm.
-                memory.cycle_count = now = memory.cycle_count + 1
-                if not (mem_resp or mem_ingress or mem_dramq):
-                    # Idle: bandwidth allowance saturates at one cycle.
-                    memory._dram_acc = dram_bpc
-                else:
-                    # 1. Deliver responses whose latency has elapsed.
-                    rbucket = mem_resp.pop(now, None)
-                    if rbucket is not None:
-                        for r_sm, r_line, r_kind in rbucket:
-                            if r_kind != req_write:
-                                deliver(r_sm, r_line, r_kind)
-                    # 2. L2 ports drain the ingress queue.
-                    if mem_ingress:
-                        l2_txns = memory.l2_txns
-                        l2_hits = mem_l2.hits
-                        l2_misses = mem_l2.misses
-                        for _ in range(l2_ports):
-                            txn = mem_ingress[0]
-                            line = txn[1]
-                            st = l2_data[line % l2_sets]
-                            if line in st:
-                                l2_hits += 1
-                                del st[line]
-                                st[line] = None
-                                mem_ingress.popleft()
-                                l2_txns += 1
-                                if txn[2] != req_write:
-                                    due = now + l2_latency
-                                    rbucket = mem_resp.get(due)
-                                    if rbucket is None:
-                                        mem_resp[due] = [txn]
-                                    else:
-                                        rbucket.append(txn)
-                            else:
-                                l2_misses += 1
-                                if len(mem_dramq) >= dram_cap:
-                                    break  # head blocked on DRAM
-                                mem_ingress.popleft()
-                                l2_txns += 1
-                                mem_dramq.append(txn)
-                                if (len(mem_dramq)
-                                        > memory.peak_dram_queue):
-                                    memory.peak_dram_queue = len(
-                                        mem_dramq)
-                            if not mem_ingress:
-                                break
-                        memory.l2_txns = l2_txns
-                        mem_l2.hits = l2_hits
-                        mem_l2.misses = l2_misses
-                    # 3. DRAM bandwidth server (L2 fill inlined).
-                    macc = memory._dram_acc + dram_bpc
-                    if mem_dramq and macc >= line_bytes:
-                        while True:
-                            macc -= line_bytes
-                            txn = mem_dramq.popleft()
-                            memory.dram_txns += 1
-                            if txn[2] == req_write:
-                                memory.writes_dropped += 1
-                            else:
-                                line = txn[1]
-                                st = l2_data[line % l2_sets]
-                                if line in st:
-                                    del st[line]
-                                    st[line] = None
-                                else:
-                                    mem_l2.fills += 1
-                                    st[line] = None
-                                    if len(st) > l2_ways:
-                                        mem_l2.evictions += 1
-                                        del st[next(iter(st))]
-                                due = now + dram_latency
-                                rbucket = mem_resp.get(due)
-                                if rbucket is None:
-                                    mem_resp[due] = [txn]
-                                else:
-                                    rbucket.append(txn)
-                            if not mem_dramq or macc < line_bytes:
-                                break
-                    if not mem_dramq and macc > dram_bpc:
-                        # Idle bandwidth cannot be banked.
-                        macc = dram_bpc
-                    memory._dram_acc = macc
-            else:
-                for _ in range(m):
-                    memory.cycle()
-            if sm_domain.cycles >= self._next_epoch_cycle:
-                c = sm_domain.cycles
-                for sm in sms:
-                    lag = c - sm.cycle
-                    if lag:
-                        sm.skip_cycles(lag, interval)
-                while sm_domain.cycles >= self._next_epoch_cycle:
-                    self._handle_epoch()
-                    self._next_epoch_cycle += epoch_cycles
-                # The epoch horizon moved (and the controller may have
-                # retuned), so a blocked fast-forward may now succeed.
-                self._ff_blocked = False
-        c = sm_domain.cycles
-        for sm in sms:
-            lag = c - sm.cycle
-            if lag:
-                sm.skip_cycles(lag, interval)
-        ticks = self.tick - start_tick
-        self._invocation_ticks.append(ticks)
-        return ticks
+        return self._cycle_loop(workload)
+
+    #: The fused run loop, compiled at import time from the templates
+    #: in :mod:`repro.sim.cycle_kernel` -- the same cycle body that
+    #: compiles into ``SM.cycle_once``, specialized for the chip-wide
+    #: clock domain.  Subclasses with different clocking (per-SM VRMs)
+    #: install their own specialization of the same templates.
+    _cycle_loop = build_chip_cycle_loop()
 
     def _fast_forward(self, interval: int) -> bool:
         """Jump toward the next event; True if any ticks were skipped."""

@@ -15,13 +15,17 @@ memory warps in the Xmem state.
 
 from collections import deque
 
-from ..config import GPUConfig, LINE_BYTES
+from ..config import GPUConfig
 from .cache import SetAssocCache
 
-#: Request kinds carried end-to-end.
+#: Request kinds carried end-to-end.  Defined before the cycle-kernel
+#: import below so the compiled cycle body can bind them even while
+#: this module is still initializing.
 REQ_READ = 0
 REQ_WRITE = 1
 REQ_TEX = 2
+
+from .cycle_kernel import build_memory_cycle  # noqa: E402
 
 
 class MemorySubsystem:
@@ -76,115 +80,12 @@ class MemorySubsystem:
     # ------------------------------------------------------------------
     # Memory-domain cycle
     # ------------------------------------------------------------------
-    def cycle(self, REQ_WRITE=REQ_WRITE, LINE_BYTES=LINE_BYTES) -> None:
-        """Execute one memory-domain cycle."""
-        self.cycle_count += 1
-        resp = self._responses
-        ingress = self.ingress
-        dram_queue = self.dram_queue
-        cfg = self.cfg
-        if not resp and not ingress and not dram_queue:
-            # Fully idle: nothing to deliver or drain, and with an
-            # empty DRAM queue the bandwidth accumulator saturates at
-            # one cycle's allowance -- exactly what the full pass
-            # below computes, at a fraction of the cost.
-            self._dram_acc = cfg.dram_bytes_per_cycle
-            return
-        now = self.cycle_count
-
-        # 1. Deliver responses whose latency has elapsed.
-        bucket = resp.pop(now, None)
-        if bucket is not None:
-            deliver = self.deliver
-            for sm_id, line, kind in bucket:
-                if kind != REQ_WRITE:
-                    deliver(sm_id, line, kind)
-
-        # 2. L2 ports drain the ingress queue toward the DRAM queue.
-        # The (sm_id, line, kind) triple built at submit time travels
-        # through every stage unchanged -- no repacking.  The L2
-        # probe-and-refresh is inlined (l2.access semantics): a blocked
-        # head-of-line transaction re-probes -- and re-counts -- every
-        # cycle, exactly as the method-call version did.
-        l2 = self.l2
-        if ingress:
-            l2_data = l2._data
-            l2_sets = l2.sets
-            dram_cap = cfg.dram_queue_depth
-            l2_latency = cfg.l2_latency
-            l2_txns = self.l2_txns
-            l2_hits = l2.hits
-            l2_misses = l2.misses
-            for _ in range(cfg.l2_ports):
-                txn = ingress[0]
-                line = txn[1]
-                st = l2_data[line % l2_sets]
-                if line in st:
-                    l2_hits += 1
-                    del st[line]
-                    st[line] = None
-                    ingress.popleft()
-                    l2_txns += 1
-                    if txn[2] != REQ_WRITE:
-                        due = now + l2_latency
-                        bucket = resp.get(due)
-                        if bucket is None:
-                            resp[due] = [txn]
-                        else:
-                            bucket.append(txn)
-                else:
-                    l2_misses += 1
-                    if len(dram_queue) >= dram_cap:
-                        break  # head-of-line blocked on DRAM
-                    ingress.popleft()
-                    l2_txns += 1
-                    dram_queue.append(txn)
-                    if len(dram_queue) > self.peak_dram_queue:
-                        self.peak_dram_queue = len(dram_queue)
-                if not ingress:
-                    break
-            self.l2_txns = l2_txns
-            l2.hits = l2_hits
-            l2.misses = l2_misses
-
-        # 3. DRAM bandwidth server.  The L2 fill is inlined (l2.fill
-        # semantics, victim discarded: nothing observes L2 evictions).
-        acc = self._dram_acc + cfg.dram_bytes_per_cycle
-        if dram_queue and acc >= LINE_BYTES:
-            l2_data = l2._data
-            l2_sets = l2.sets
-            l2_ways = l2.ways
-            dram_latency = cfg.dram_latency
-            while True:
-                acc -= LINE_BYTES
-                txn = dram_queue.popleft()
-                self.dram_txns += 1
-                if txn[2] == REQ_WRITE:
-                    self.writes_dropped += 1
-                else:
-                    line = txn[1]
-                    st = l2_data[line % l2_sets]
-                    if line in st:
-                        del st[line]
-                        st[line] = None
-                    else:
-                        l2.fills += 1
-                        st[line] = None
-                        if len(st) > l2_ways:
-                            l2.evictions += 1
-                            del st[next(iter(st))]
-                    due = now + dram_latency
-                    bucket = resp.get(due)
-                    if bucket is None:
-                        resp[due] = [txn]
-                    else:
-                        bucket.append(txn)
-                if not dram_queue or acc < LINE_BYTES:
-                    break
-        if not dram_queue and acc > cfg.dram_bytes_per_cycle:
-            # Idle bandwidth cannot be banked for later bursts.
-            acc = cfg.dram_bytes_per_cycle
-        self._dram_acc = acc
+    #: One memory-domain cycle (response delivery, L2 port drain, DRAM
+    #: bandwidth server), compiled at import time from the canonical
+    #: body in :mod:`repro.sim.cycle_kernel`.  The fused GPU run loops
+    #: specialize the same body for the rate-1.0 case, so there is
+    #: exactly one definition to edit.
+    cycle = build_memory_cycle()
 
     # ------------------------------------------------------------------
     # Fast-forward support

@@ -23,6 +23,7 @@ from ..config import (SimConfig, VF_HIGH, VF_LOW, VF_NORMAL, VF_STATES,
                       vf_ratio)
 from ..errors import SimulationError
 from .clock import ClockDomain
+from .cycle_kernel import build_per_sm_cycle_loop
 from .gpu import GPU
 from .results import Segment
 
@@ -92,94 +93,15 @@ class PerSMVRMGPU(GPU):
             sm.skip_cycles(lag, self._sample_interval)
         sm.receive_fill(line, kind)
 
-    def run_invocation(self, workload, invocation: int) -> int:
-        self._invocation = invocation
-        from .gwde import GWDE
-        make_gwde = getattr(workload, "make_gwde", None)
-        if make_gwde is not None:
-            self.gwde = make_gwde(invocation)
-        else:
-            self.gwde = GWDE(workload.block_factories(invocation))
-        wcta = workload.wcta(invocation)
-        max_blocks = workload.max_blocks(invocation)
-        wcta_for_sm = getattr(workload, "wcta_for_sm", None)
-        blocks_for_sm = getattr(workload, "max_blocks_for_sm", None)
-        for sm in self.sms:
-            sm.prepare_kernel(
-                wcta_for_sm(invocation, sm.sm_id) if wcta_for_sm
-                else wcta,
-                blocks_for_sm(invocation, sm.sm_id) if blocks_for_sm
-                else max_blocks)
-        if self.controller is not None:
-            self.controller.on_invocation_start(self, invocation)
-        for sm in self.sms:
-            sm.ensure_blocks()
-        start_tick = self.tick
-        interval = self.sim.equalizer.sample_interval
-        epoch_cycles = self.sim.equalizer.epoch_cycles
-        max_ticks = self.sim.max_ticks
-        sms = self.sms
-        domains = self.sm_domains
-        memory = self.memory
-        gwde = self.gwde
-        n = len(sms)
-        self._ff_blocked = False
-        while not gwde.drained or self.busy_sm_count:
-            if self.tick >= max_ticks:
-                raise SimulationError(
-                    f"{workload.name}: exceeded max_ticks={max_ticks}")
-            if (not self._ff_blocked and not memory.ingress
-                    and not memory.dram_queue
-                    and self.enable_fast_forward):
-                for sm in sms:
-                    if (sm.ready_alu or sm.ready_mem or sm.lsu_queue
-                            or sm._lsu_busy):
-                        break
-                else:
-                    if self._fast_forward_per_sm(interval):
-                        continue
-                    self._ff_blocked = True
-            self.tick += 1
-            start = self.tick % n
-            for k in range(n):
-                i = (start + k) % n
-                sm = sms[i]
-                dom = domains[i]
-                adv = dom.advance()
-                cbase = dom.cycles - adv
-                for j in range(adv):
-                    target = cbase + j + 1
-                    # Per-SM idle skipping (see GPU.run_invocation).
-                    if (sm.ready_alu or sm.ready_mem or sm.lsu_queue
-                            or sm._lsu_busy
-                            or target in sm._sleep_buckets):
-                        lag = target - 1 - sm.cycle
-                        if lag:
-                            sm.skip_cycles(lag, interval)
-                        sm.cycle_once(interval)
-            for _ in range(self.mem_domain.advance()):
-                memory.cycle()
-            # Epochs follow wall-clock ticks here: per-SM cycle counts
-            # diverge, so the decision heartbeat keys off the slowest
-            # common clock (the nominal tick).
-            if self.tick * 1.0 >= self._next_epoch_cycle:
-                for sm, dom in zip(sms, domains):
-                    lag = dom.cycles - sm.cycle
-                    if lag:
-                        sm.skip_cycles(lag, interval)
-                while self.tick * 1.0 >= self._next_epoch_cycle:
-                    self._handle_epoch()
-                    self._next_epoch_cycle += epoch_cycles
-                self._ff_blocked = False
-        for sm, dom in zip(sms, domains):
-            lag = dom.cycles - sm.cycle
-            if lag:
-                sm.skip_cycles(lag, interval)
-        ticks = self.tick - start_tick
-        self._invocation_ticks.append(ticks)
-        return ticks
+    #: The fused run loop, compiled at import time from the same
+    #: cycle-kernel templates as ``GPU._cycle_loop`` but specialized
+    #: for this variant's clocking: a private domain per SM (SM-major
+    #: iteration, since per-SM cycle counts diverge) and epochs keyed
+    #: on the wall-clock tick axis.  ``GPU.run_invocation``'s setup is
+    #: inherited unchanged; only the loop differs.
+    _cycle_loop = build_per_sm_cycle_loop()
 
-    def _fast_forward_per_sm(self, interval: int) -> bool:
+    def _fast_forward(self, interval: int) -> bool:
         ticks = None
         target_tick = self._next_epoch_cycle
         if target_tick > self.tick:

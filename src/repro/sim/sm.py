@@ -33,10 +33,11 @@ from collections import deque
 
 from ..errors import SimulationError
 from .cache import SetAssocCache
+from .cycle_kernel import build_cycle_once
 from .instruction import (OP_ALU, OP_BARRIER, OP_DONE, OP_STORE,
                           OP_TEX_LOAD)
-from .memory import REQ_READ, REQ_TEX, REQ_WRITE
-from .warp import (W_BARRIER, W_DONE, W_NEW, W_READY_ALU, W_READY_MEM,
+from .memory import REQ_TEX
+from .warp import (W_BARRIER, W_DONE, W_READY_ALU, W_READY_MEM,
                    W_SLEEP, W_WAITMEM, ThreadBlock, Warp)
 
 #: When truthy, every sample re-derives the incremental counters from a
@@ -452,87 +453,8 @@ class SM:
         self.tex_outstanding += n
 
     # ------------------------------------------------------------------
-    # LSU drain and the miss path
+    # Fill delivery and the miss path
     # ------------------------------------------------------------------
-    def _lsu_drain(self) -> None:
-        # Only cycle_once calls this, after checking that the queue is
-        # non-empty and the miss-handling path is free (_lsu_busy == 0).
-        # Memory-side capacity checks and submission are inlined (the
-        # equivalent of memory.can_accept() / memory.submit()).
-        queue = self.lsu_queue
-        access = queue[0]
-        line = access.lines[access.idx]
-        # Inlined l1.access(line): the probe-and-refresh dict dance,
-        # without the method call (this runs once per LSU cycle).
-        l1 = self.l1
-        st = self._l1_data[line % self._l1_sets]
-        if access.is_write:
-            # Write-through, no-allocate: every store line costs one
-            # memory transaction; the warp has already moved on.
-            memory = self.memory
-            ingress = memory.ingress
-            if len(ingress) >= self._ingress_depth:
-                return  # back-pressure: retry next cycle
-            if line in st:
-                l1.hits += 1
-                del st[line]
-                st[line] = None
-            else:
-                l1.misses += 1
-            ingress.append((self.sm_id, line, REQ_WRITE))
-            if len(ingress) > memory.peak_ingress:
-                memory.peak_ingress = len(ingress)
-            self._lsu_busy = self._miss_cycles
-            access.idx += 1
-        elif line in st:
-            l1.hits += 1
-            del st[line]
-            st[line] = None
-            access.idx += 1
-        else:
-            l1.misses += 1
-            if self.hooks is not None:
-                self.hooks.on_l1_miss(self, access.warp, line)
-            mshr = self.mshr
-            waiters = mshr.get(line)
-            if waiters is not None:
-                waiters.append(access)
-                access.pending += 1
-                access.idx += 1
-                self._lsu_busy = self._miss_cycles
-            else:
-                memory = self.memory
-                ingress = memory.ingress
-                if (len(mshr) < self._mshr_entries
-                        and len(ingress) < self._ingress_depth):
-                    mshr[line] = [access]
-                    access.pending += 1
-                    access.idx += 1
-                    ingress.append((self.sm_id, line, REQ_READ))
-                    if len(ingress) > memory.peak_ingress:
-                        memory.peak_ingress = len(ingress)
-                    self._lsu_busy = self._miss_cycles
-                else:
-                    return  # MSHR or ingress full: stall the LSU head
-        if access.idx == len(access.lines):
-            queue.popleft()
-            access.issued_all = True
-            if not access.is_write and access.pending == 0:
-                # Pure L1 hit: data returns after the hit latency; the
-                # wake path sees the needs-fetch mark and advances the
-                # warp past the completed load.  W_WAITMEM -> W_SLEEP
-                # keeps the warp in the waiting set: no counter change.
-                warp = access.warp
-                warp.state = W_SLEEP
-                self._needs_fetch.add(warp)
-                due = self.cycle + self._hit_latency
-                buckets = self._sleep_buckets
-                bucket = buckets.get(due)
-                if bucket is None:
-                    buckets[due] = [warp]
-                else:
-                    bucket.append(warp)
-
     def receive_fill(self, line: int, kind: int) -> None:
         """A read response arrived from the memory system."""
         if kind == REQ_TEX:
@@ -659,128 +581,11 @@ class SM:
     # ------------------------------------------------------------------
     # Cycle execution
     # ------------------------------------------------------------------
-    def cycle_once(self, sample_interval: int,
-                   W_SLEEP=W_SLEEP, W_READY_ALU=W_READY_ALU,
-                   W_READY_MEM=W_READY_MEM, OP_ALU=OP_ALU,
-                   OP_BARRIER=OP_BARRIER,
-                   OP_TEX_LOAD=OP_TEX_LOAD) -> None:
-        """Execute one SM cycle.
-
-        The wake and ALU-issue stages are inlined rather than split
-        into helpers: this method runs for every non-parked SM cycle,
-        and the call overhead of the helpers was a measurable fraction
-        of total simulation time.  The trailing keyword parameters bind
-        module-level constants as locals (never pass them).
-        """
-        cycle = self.cycle + 1
-        self.cycle = cycle
-        buckets = self._sleep_buckets
-        bucket = buckets.pop(cycle, None)
-        if bucket is not None:
-            # Wake every warp due this cycle (dispatch may add more).
-            self.gpu._ff_blocked = False
-            needs_fetch = self._needs_fetch
-            ready_alu = self.ready_alu
-            ready_mem = self.ready_mem
-            woken = 0
-            while True:
-                for warp in bucket:
-                    if warp.paused:
-                        warp.block.held.append(warp)
-                    elif needs_fetch and warp in needs_fetch:
-                        # An L1-hit load completed: advance past it.
-                        needs_fetch.discard(warp)
-                        self._fetch_and_dispatch(warp, 0)
-                    else:
-                        if warp.head_op == OP_ALU:
-                            warp.state = W_READY_ALU
-                            ready_alu.append(warp)
-                        else:
-                            warp.state = W_READY_MEM
-                            ready_mem.append(warp)
-                        woken += 1
-                # A zero-delay fetch above may have scheduled new work
-                # for this same cycle; drain until the bucket is empty.
-                bucket = buckets.pop(cycle, None)
-                if bucket is None:
-                    break
-            self.waiting_warps -= woken
-        if cycle == self._next_sample_cycle:
-            self._sample()
-            self._next_sample_cycle = cycle + sample_interval
-        rm = self.ready_mem
-        if rm and (len(self.lsu_queue) < self._lsu_depth
-                   or rm[0].head_op == OP_TEX_LOAD):
-            # When the LSU queue is full and the head is not a texture
-            # load, _issue_mem provably does nothing (it breaks before
-            # any rotation or issue), so the call is skipped outright.
-            self._issue_mem()
-        q = self.ready_alu
-        if q:
-            # Dual-issue arithmetic stage.  Consecutive issues usually
-            # share a dependence latency, so the due bucket of the
-            # previous issue is cached and reused.
-            width = self._alu_width
-            issued = 0
-            slept = 0
-            last_due = -1
-            last_bucket = None
-            while q:
-                warp = q.popleft()
-                issued += 1
-                prog = warp.program
-                try:
-                    j = prog._j
-                except AttributeError:
-                    j = 0
-                if j > 0:
-                    # Inlined WarpProgram fast path: mid ALU run, the
-                    # next op is another ALU and the head stands.
-                    prog._j = j - 1
-                    warp.state = W_SLEEP
-                    slept += 1
-                    due = cycle + warp.dep_latency
-                    if due != last_due:
-                        last_bucket = buckets.get(due)
-                        if last_bucket is None:
-                            last_bucket = buckets[due] = [warp]
-                            last_due = due
-                            if issued == width:
-                                break
-                            continue
-                        last_due = due
-                    last_bucket.append(warp)
-                else:
-                    op, payload = prog.next_op()
-                    warp.head_op = op
-                    warp.head_payload = payload
-                    if op < OP_BARRIER:
-                        warp.state = W_SLEEP
-                        slept += 1
-                        due = cycle + warp.dep_latency
-                        if due != last_due:
-                            last_bucket = buckets.get(due)
-                            if last_bucket is None:
-                                last_bucket = buckets[due] = [warp]
-                                last_due = due
-                                if issued == width:
-                                    break
-                                continue
-                            last_due = due
-                        last_bucket.append(warp)
-                    else:
-                        self._dispatch_special(warp)
-                if issued == width:
-                    break
-            self.insts_issued += issued
-            self.alu_issued += issued
-            self.waiting_warps += slept
-        if self._lsu_busy:
-            # Miss-handling occupancy countdown, inlined from
-            # _lsu_drain: nothing else can happen while it runs.
-            self._lsu_busy -= 1
-        elif self.lsu_queue:
-            self._lsu_drain()
+    #: One SM cycle (wake, sample, memory issue, dual ALU issue, LSU
+    #: drain), compiled at import time from the canonical cycle body in
+    #: :mod:`repro.sim.cycle_kernel`.  The fused GPU run loops inline
+    #: the same body, so there is exactly one definition to edit.
+    cycle_once = build_cycle_once()
 
     # ------------------------------------------------------------------
     # Fast-forward support

@@ -1,0 +1,191 @@
+"""Single-source cycle-kernel equivalence and identity tests.
+
+The cycle-kernel layer (``repro.sim.cycle_kernel``) builds the fused
+``GPU`` run loop, the ``PerSMVRMGPU`` run loop, and ``SM.cycle_once``
+from one cycle-body template.  These tests pin the refactor to the
+pre-refactor behaviour:
+
+* ``tests/data/cycle_kernel_golden.json`` holds digests of full
+  ``RunResult`` payloads (plus decision logs and per-SM segments)
+  captured on the method-path implementation, seeded across the four
+  bench kernels.  Any behavioural drift in the generated loops -- chip
+  or per-SM -- changes a digest.
+* Fast-forward neutrality is asserted for the per-SM-VRM loop the same
+  way ``tests/test_fastforward_equiv.py`` asserts it for the chip loop.
+* The single-source property itself is asserted structurally: the
+  compiled loops all originate from the cycle-kernel templates, and no
+  "keep in sync" mirroring warnings remain in ``repro.sim``.
+
+Regenerate the golden file (only when a behaviour change is intended)
+with ``PYTHONPATH=src:tests python tests/test_cycle_kernel.py``.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import cache_spec, compute_spec, memory_spec, tiny_sim
+from repro.sim.gpu import GPU, run_kernel
+from repro.sim.per_sm_vrm import (PerSMEqualizerController, PerSMVRMGPU,
+                                  compute_energy_per_sm)
+from repro.workloads import build_workload, kernel_by_name
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "cycle_kernel_golden.json")
+GOLDEN_SCALE = 0.1
+BENCH_KERNELS = ("cutcp", "lbm", "spmv", "leuko-1")
+CONFIGS = ("chip-baseline", "per-sm-baseline", "per-sm-performance",
+           "per-sm-energy")
+
+
+def _default_sim():
+    from repro.experiments.common import default_sim
+    return default_sim()
+
+
+def _run_payload(kernel: str, config: str) -> dict:
+    """One deterministic run -> JSON-safe payload of everything observable."""
+    sim = _default_sim()
+    workload = build_workload(kernel_by_name(kernel), seed=sim.seed,
+                              scale=GOLDEN_SCALE)
+    decisions = []
+    sm_segments = []
+    if config == "chip-baseline":
+        run = run_kernel(workload, sim)
+    else:
+        mode = config.rsplit("-", 1)[1]
+        controller = None
+        if mode != "baseline":
+            controller = PerSMEqualizerController(mode,
+                                                  config=sim.equalizer)
+        gpu = PerSMVRMGPU(sim, controller=controller)
+        run = compute_energy_per_sm(gpu, gpu.run(workload))
+        if controller is not None:
+            decisions = [[d.epoch, d.sm_id, d.tendency, d.block_delta,
+                          d.target_blocks, d.applied]
+                         for d in controller.decisions]
+        sm_segments = [[s.to_dict() for s in segments]
+                       for segments in gpu.sm_segments]
+    return {"run": run.to_dict(), "decisions": decisions,
+            "sm_segments": sm_segments}
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _load_golden() -> dict:
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)["kernels"]
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("kernel", BENCH_KERNELS)
+def test_golden_bit_identity(kernel, config):
+    """Runs reproduce the digests captured on the method-path code."""
+    golden = _load_golden()[kernel][config]
+    payload = _run_payload(kernel, config)
+    assert payload["run"]["result"]["ticks"] == golden["ticks"], (
+        f"{kernel}/{config}: tick count diverged from the pre-refactor "
+        f"capture ({payload['run']['result']['ticks']} vs "
+        f"{golden['ticks']})")
+    assert _digest(payload) == golden["digest"], (
+        f"{kernel}/{config}: RunResult payload diverged from the "
+        f"pre-refactor capture despite matching ticks -- compare "
+        f"epochs/segments/decisions field by field")
+
+
+def _per_sm_run(spec, mode, fast_forward, seed=7):
+    controller = None
+    if mode is not None:
+        sim = tiny_sim()
+        controller = PerSMEqualizerController(mode, config=sim.equalizer)
+    gpu = PerSMVRMGPU(tiny_sim(), controller=controller)
+    gpu.enable_fast_forward = fast_forward
+    for sm in gpu.sms:
+        sm.debug_counters = True
+    result = gpu.run(build_workload(spec, seed=seed))
+    return gpu, result
+
+
+@pytest.mark.parametrize("mode", [None, "performance", "energy"])
+@pytest.mark.parametrize("spec_fn", [compute_spec, memory_spec,
+                                     cache_spec])
+def test_per_sm_fast_forward_is_results_neutral(spec_fn, mode):
+    """Per-SM-VRM FF on vs off: identical results and segments."""
+    gpu_ff, with_ff = _per_sm_run(spec_fn(), mode, fast_forward=True)
+    gpu_sl, without = _per_sm_run(spec_fn(), mode, fast_forward=False)
+    assert with_ff.to_dict() == without.to_dict()
+    assert gpu_ff.tick == gpu_sl.tick
+    assert [[s.to_dict() for s in segs] for segs in gpu_ff.sm_segments] \
+        == [[s.to_dict() for s in segs] for segs in gpu_sl.sm_segments]
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=8, deadline=None)
+def test_per_sm_fast_forward_neutral_across_seeds(seed):
+    spec = cache_spec(total_blocks=8, iterations=12)
+    _, with_ff = _per_sm_run(spec, "performance", True, seed=seed)
+    _, without = _per_sm_run(spec, "performance", False, seed=seed)
+    assert with_ff.to_dict() == without.to_dict()
+
+
+def test_loops_are_generated_from_the_cycle_kernel():
+    """All three specializations compile out of cycle_kernel templates."""
+    from repro.sim import cycle_kernel
+    from repro.sim.sm import SM
+    assert GPU._cycle_loop.__code__.co_filename.startswith(
+        cycle_kernel.SOURCE_PREFIX)
+    assert PerSMVRMGPU._cycle_loop.__code__.co_filename.startswith(
+        cycle_kernel.SOURCE_PREFIX)
+    assert SM.cycle_once.__code__.co_filename.startswith(
+        cycle_kernel.SOURCE_PREFIX)
+    # The per-SM loop is a real specialization, not an inherited copy.
+    assert PerSMVRMGPU._cycle_loop is not GPU._cycle_loop
+
+
+def test_no_mirroring_warnings_remain_in_sim_sources():
+    """The "keep in sync" era is over; its warnings must not return."""
+    import repro.sim as sim_pkg
+    root = os.path.dirname(sim_pkg.__file__)
+    offenders = []
+    for name in sorted(os.listdir(root)):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(root, name)) as f:
+            text = f.read().lower()
+        for needle in ("keep in sync", "inlined verbatim"):
+            if needle in text:
+                offenders.append(f"{name}: {needle!r}")
+    assert not offenders, offenders
+
+
+def _build_golden() -> dict:
+    golden = {}
+    for kernel in BENCH_KERNELS:
+        golden[kernel] = {}
+        for config in CONFIGS:
+            payload = _run_payload(kernel, config)
+            golden[kernel][config] = {
+                "ticks": payload["run"]["result"]["ticks"],
+                "energy_j": payload["run"]["energy_j"],
+                "digest": _digest(payload),
+            }
+            print(f"{kernel:<8} {config:<18} "
+                  f"ticks={golden[kernel][config]['ticks']:>7} "
+                  f"{golden[kernel][config]['digest'][:16]}")
+    return golden
+
+
+if __name__ == "__main__":
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump({"format": 1, "scale": GOLDEN_SCALE,
+                   "kernels": _build_golden()}, f, indent=2,
+                  sort_keys=True)
+        f.write("\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -299,3 +299,19 @@ class TestCheckGuard:
         with open(ref, "w") as f:
             json.dump({"format": 99}, f)
         assert engine_main(["check", "--against", str(ref)]) == 2
+
+
+class TestCodeSalt:
+    def test_cycle_kernel_module_is_salted(self):
+        """The compiled hot loops come from sim/cycle_kernel.py, so an
+        edit there must invalidate cached runs like any sim change."""
+        from repro.engine import fingerprint
+        root = os.path.dirname(os.path.abspath(fingerprint.__file__))
+        repro_root = os.path.dirname(root)
+        salted = set()
+        for entry in fingerprint._BEHAVIOR_SOURCES:
+            path = os.path.join(repro_root, entry)
+            for fp in fingerprint._python_files(path):
+                salted.add(os.path.relpath(fp, repro_root))
+        assert os.path.join("sim", "cycle_kernel.py") in salted
+        assert os.path.join("sim", "gpu.py") in salted

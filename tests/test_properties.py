@@ -79,7 +79,10 @@ def test_cache_occupancy_bounded(ops, sets, ways):
 def test_clock_cycle_count_tracks_rate(rate, ticks):
     clk = ClockDomain("x", rate=rate)
     total = sum(clk.advance() for _ in range(ticks))
-    assert abs(total - rate * ticks) < 1.0
+    # The fractional accumulator keeps the count within one cycle of
+    # the ideal; accumulated float rounding can land exactly on the
+    # boundary (e.g. rate=1.9, ticks=130), so the bound is inclusive.
+    assert abs(total - rate * ticks) <= 1.0
 
 
 @given(st.floats(0.5, 2.0), st.integers(0, 2000), st.integers(0, 2000))
