@@ -20,17 +20,27 @@ variant (rows keyed ``<kernel>@per-sm-vrm``), which exercises the
 per-SM clock domains, per-SM power segmentation, and the per-SM
 Equalizer controller -- the configuration DVFS sweeps spend their
 cycles in, and since the single-source cycle-kernel refactor a first-
-class fast path rather than a slow method-call loop.
+class fast path rather than a slow method-call loop.  A third scenario
+(rows keyed ``<kernel>@multikernel``) co-schedules each kernel with a
+partner from the opposite behavioural corner on disjoint SM partitions
+(:func:`repro.sim.multikernel.bench_coschedule`), timing the
+partitioned work-distribution path and cross-partition memory
+contention.
 
 Results are written as JSON (``BENCH_sim.json`` by default) and two
 result files can be compared with a regression threshold; CI keeps a
 committed quick-mode baseline honest with ``--compare``.  Simulations
 are deterministic, so the simulated tick count of each kernel is stable
-across runs and machines -- only the wall clock varies.
+across runs and machines -- only the wall clock varies.  Each result
+document records a hardware fingerprint of the machine that produced
+it; ``--compare`` enforces the regression floor only between documents
+from the same fingerprint and downgrades to a warning across machines
+(absolute ticks/sec on different silicon is apples to oranges).
 """
 
 import json
 import math
+import platform
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -59,9 +69,33 @@ PER_SM_VRM_SUFFIX = "@per-sm-vrm"
 PER_SM_VRM_KERNELS: Tuple[str, ...] = tuple(
     k for _, k in REPRESENTATIVE_KERNELS)
 
+#: Row-key suffix of the concurrent-kernel scenario rows.
+MULTIKERNEL_SUFFIX = "@multikernel"
+
+#: Kernels timed as a co-schedule with their bench partner.
+MULTIKERNEL_KERNELS: Tuple[str, ...] = tuple(
+    k for _, k in REPRESENTATIVE_KERNELS)
+
 
 class BenchError(ReproError):
     """A benchmark run or comparison failed."""
+
+
+def machine_fingerprint() -> Dict[str, str]:
+    """A stable identity of the hardware/interpreter timing the runs.
+
+    Wall-clock numbers are only comparable between identical
+    fingerprints; :func:`compare` warns instead of gating when they
+    differ.  Only coarse, deterministic fields go in -- nothing that
+    varies between runs on the same machine.
+    """
+    return {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "processor": platform.processor(),
+        "python": platform.python_implementation() + "-"
+        + platform.python_version(),
+    }
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -79,8 +113,10 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
 
     ``variant`` selects the GPU under test: ``"chip"`` runs the
     standard chip-wide-VRM GPU, ``"per-sm-vrm"`` the per-SM-VRM
-    variant with the per-SM Equalizer controller in performance mode.
-    Each repeat rebuilds the workload (programs are stateful iterators)
+    variant with the per-SM Equalizer controller in performance mode,
+    and ``"multikernel"`` co-schedules the kernel with its bench
+    partner on disjoint SM partitions of the chip-wide GPU.  Each
+    repeat rebuilds the workload (programs are stateful iterators)
     and re-runs the full simulation; the reported wall time is the best
     of the repeats, which is the standard way to shave scheduler noise
     off a deterministic benchmark.
@@ -90,7 +126,7 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
 
     if repeats < 1:
         raise BenchError("repeats must be >= 1")
-    if variant not in ("chip", "per-sm-vrm"):
+    if variant not in ("chip", "per-sm-vrm", "multikernel"):
         raise BenchError(f"unknown bench variant {variant!r}")
     if sim is None:
         from ..experiments.common import default_sim
@@ -101,13 +137,21 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
     best = None
     ticks = None
     for _ in range(repeats):
-        workload = build_workload(spec, seed=sim.seed)
-        if variant == "chip":
+        if variant == "multikernel":
+            from ..sim.multikernel import bench_coschedule
+            # bench_coschedule scales its specs itself.
+            workload = bench_coschedule(name, sim.gpu.sm_count,
+                                        scale=scale, seed=sim.seed)
+            start = time.perf_counter()
+            run = run_kernel(workload, sim)
+        elif variant == "chip":
+            workload = build_workload(spec, seed=sim.seed)
             start = time.perf_counter()
             run = run_kernel(workload, sim)
         else:
             from ..sim.per_sm_vrm import (PerSMEqualizerController,
                                           run_kernel_per_sm_vrm)
+            workload = build_workload(spec, seed=sim.seed)
             # A fresh controller per repeat: it accumulates a decision
             # log and binds to the GPU it attaches to.
             controller = PerSMEqualizerController(
@@ -143,18 +187,25 @@ def run_suite(kernels: Optional[List[str]] = None, scale: float = 1.0,
         row["role"] = roles.get(name, "extra")
         rows[name] = row
     if kernels is None:
-        # The per-SM-VRM scenario accompanies the default suite only;
-        # an explicit --kernels subset times exactly what it names.
+        # The per-SM-VRM and multikernel scenarios accompany the
+        # default suite only; an explicit --kernels subset times
+        # exactly what it names.
         for name in PER_SM_VRM_KERNELS:
             row = bench_kernel(name, scale=scale, repeats=repeats,
                                variant="per-sm-vrm")
             row["role"] = "per-sm-vrm"
             rows[name + PER_SM_VRM_SUFFIX] = row
+        for name in MULTIKERNEL_KERNELS:
+            row = bench_kernel(name, scale=scale, repeats=repeats,
+                               variant="multikernel")
+            row["role"] = "multikernel"
+            rows[name + MULTIKERNEL_SUFFIX] = row
     return {
         "format": BENCH_FORMAT,
         "mode": "quick" if quick else "full",
         "scale": scale,
         "repeats": repeats,
+        "machine": machine_fingerprint(),
         "kernels": rows,
         "geomean_ticks_per_sec": round(
             geomean([r["ticks_per_sec"] for r in rows.values()]), 1),
@@ -193,10 +244,25 @@ def compare(base: Dict, new: Dict, threshold: float = 0.30
     documents taken at different scales or modes is reported but not
     fatal: ticks/sec is scale-invariant to first order, the tick counts
     are not.
+
+    The regression floor is enforced only between documents whose
+    hardware fingerprints match: across machines the ratio measures
+    silicon, not code, so a mismatch downgrades the gate to a warning
+    (``ok`` stays True).  Documents without a fingerprint -- older
+    baselines -- are compared at full strictness.
     """
     if not 0.0 < threshold < 1.0:
         raise BenchError("threshold must lie in (0, 1)")
     lines = []
+    enforce = True
+    base_fp, new_fp = base.get("machine"), new.get("machine")
+    if base_fp and new_fp and base_fp != new_fp:
+        enforce = False
+        changed = sorted(k for k in set(base_fp) | set(new_fp)
+                         if base_fp.get(k) != new_fp.get(k))
+        lines.append(f"warning: hardware fingerprints differ "
+                     f"({', '.join(changed)}); the regression floor "
+                     f"is advisory, not a gate")
     if base.get("scale") != new.get("scale"):
         lines.append(f"note: scales differ (base {base.get('scale')}, "
                      f"new {new.get('scale')}); comparing ticks/sec only")
@@ -217,8 +283,10 @@ def compare(base: Dict, new: Dict, threshold: float = 0.30
         ratios.append(ratio)
         lines.append(f"{name:<20} {b:>12.0f} {n:>12.0f} {ratio:>7.2f}x")
     gm = geomean(ratios)
-    ok = gm >= (1.0 - threshold)
+    below = gm < (1.0 - threshold)
+    ok = not below or not enforce
+    verdict = "REGRESSION" if below and enforce else (
+        "below floor, not gated (foreign hardware)" if below else "ok")
     lines.append(f"geomean speedup: {gm:.2f}x "
-                 f"(floor {1.0 - threshold:.2f}x -> "
-                 f"{'ok' if ok else 'REGRESSION'})")
+                 f"(floor {1.0 - threshold:.2f}x -> {verdict})")
     return lines, ok

@@ -120,7 +120,15 @@ class Engine:
     # -- cache plumbing ------------------------------------------------
 
     def digest(self, job: Job) -> str:
-        """Content address of a job under this engine's config."""
+        """Content address of a job under this engine's config.
+
+        A job carrying its own precomputed ``digest`` (oracle cases,
+        whose kernels are synthetic rather than Table II names) wins;
+        otherwise the digest is derived from the kernel spec, the
+        SimConfig, the scale, and the behaviour-code salt.
+        """
+        if job.digest is not None:
+            return job.digest
         cached = self._digests.get(job)
         if cached is None:
             cached = job_digest(job, kernel_by_name(job.kernel),

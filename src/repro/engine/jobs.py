@@ -13,7 +13,7 @@ Experiment modules declare the jobs they need through a module-level
 those declarations into a deduplicated plan.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
 from ..baselines import (CCWSController, DynCTAController,
@@ -33,6 +33,13 @@ class Job:
 
     kernel: str
     key: ControllerKey
+    #: Optional precomputed content address.  Suite jobs leave this
+    #: None and the engine derives the digest from the kernel spec +
+    #: SimConfig + code salt; callers whose ``kernel`` is not a Table
+    #: II name (the differential oracle's synthetic cases) must supply
+    #: their own.  Excluded from equality/hash: the digest is a
+    #: function of the other fields plus engine config, not identity.
+    digest: Optional[str] = field(default=None, compare=False)
 
     def label(self) -> str:
         """Human-readable id used in timing and failure reports."""

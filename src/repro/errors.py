@@ -27,3 +27,7 @@ class SerializationError(ReproError):
 
 class EngineError(ReproError):
     """Raised when the experiment engine cannot complete its plan."""
+
+
+class OracleError(ReproError):
+    """Raised when the differential oracle is misconfigured."""

@@ -1,0 +1,63 @@
+"""Differential oracle: cross-path equivalence as an executable property.
+
+The single-source cycle kernel (:mod:`repro.sim.cycle_kernel`) compiles
+one set of templates into several execution paths that must agree bit
+for bit.  The golden digests in ``tests/data/cycle_kernel_golden.json``
+pin a handful of hand-picked configurations; this package turns the
+guarantee into a *generative* property: seeded fuzzing of workloads and
+SimConfigs, every case run through every compiled path (plus
+hand-written method-path reference loops and ``SIM_DEBUG``-style
+counter cross-checks), full ``RunResult`` payloads diffed field by
+field, and any divergence shrunk to a minimal committed reproducer.
+
+Entry points:
+
+* ``python -m repro.oracle --seed 0 --n 50`` -- one sweep (CLI).
+* :func:`repro.oracle.run_oracle` -- the same sweep, programmatically.
+* :func:`repro.oracle.check_pair` -- agreement check of one case on
+  one path pair (used by shrinking and reproducer replay).
+
+See ``docs/simulator-internals.md`` ("Equivalence oracle") for the
+path matrix and the shrinking strategy.
+"""
+
+from .diff import diff_payloads
+from .generate import (CASE_FORMAT, OracleCase, case_seeds,
+                       generate_case)
+from .paths import (LOOP_FAMILIES, REFERENCE_VARIANT, VARIANTS,
+                    all_paths, build_case_workload, build_sim,
+                    discover_families, run_case_path, split_path)
+from .runner import (DEFAULT_DUMP_DIR, REPRODUCER_FORMAT, Finding,
+                     OracleReport, check_pair, load_reproducer,
+                     oracle_job, oracle_worker, run_oracle,
+                     write_reproducer)
+from .shrink import case_size, shrink_case
+
+__all__ = [
+    "CASE_FORMAT",
+    "DEFAULT_DUMP_DIR",
+    "Finding",
+    "LOOP_FAMILIES",
+    "OracleCase",
+    "OracleReport",
+    "REFERENCE_VARIANT",
+    "REPRODUCER_FORMAT",
+    "VARIANTS",
+    "all_paths",
+    "build_case_workload",
+    "build_sim",
+    "case_seeds",
+    "case_size",
+    "check_pair",
+    "diff_payloads",
+    "discover_families",
+    "generate_case",
+    "load_reproducer",
+    "oracle_job",
+    "oracle_worker",
+    "run_case_path",
+    "run_oracle",
+    "shrink_case",
+    "split_path",
+    "write_reproducer",
+]

@@ -1,0 +1,60 @@
+"""Field-by-field diffing of RunResult payloads.
+
+The oracle's agreement criterion is bit identity: two paths agree iff
+their ``RunResult.to_dict()`` payloads are value-equal at every leaf.
+Floats are compared exactly -- the compiled paths execute the same
+arithmetic in the same order, so even energy totals must match to the
+last bit, and a ULP-level difference is a reordered computation, which
+is exactly the kind of drift the oracle exists to catch.
+"""
+
+from typing import Any, List
+
+#: Cap on reported leaf differences per path pair; a real divergence
+#: usually floods thousands of leaves (every epoch after the split),
+#: and the first few plus the count carry all the signal.
+MAX_DIFF_LINES = 25
+
+
+def diff_payloads(a: Any, b: Any, label_a: str = "a",
+                  label_b: str = "b") -> List[str]:
+    """Leaf-level differences between two JSON-like payloads.
+
+    Returns human-readable ``path: a-value != b-value`` lines, capped
+    at :data:`MAX_DIFF_LINES` (with a trailing count line when capped).
+    Empty list means the payloads are identical.
+    """
+    diffs: List[str] = []
+    _walk(a, b, "", diffs)
+    if len(diffs) > MAX_DIFF_LINES:
+        extra = len(diffs) - MAX_DIFF_LINES
+        diffs = diffs[:MAX_DIFF_LINES]
+        diffs.append(f"... and {extra} more differing leaves")
+    return diffs
+
+
+def _walk(a: Any, b: Any, path: str, out: List[str]) -> None:
+    if type(a) is not type(b) and not (
+            isinstance(a, (int, float)) and isinstance(b, (int, float))
+            and not isinstance(a, bool) and not isinstance(b, bool)):
+        out.append(f"{path or '<root>'}: type {type(a).__name__} != "
+                   f"{type(b).__name__}")
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                out.append(f"{sub}: missing on left")
+            elif key not in b:
+                out.append(f"{sub}: missing on right")
+            else:
+                _walk(a[key], b[key], sub, out)
+        return
+    if isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} != {len(b)}")
+        for i, (xa, xb) in enumerate(zip(a, b)):
+            _walk(xa, xb, f"{path}[{i}]", out)
+        return
+    if a != b:
+        out.append(f"{path or '<root>'}: {a!r} != {b!r}")

@@ -1,0 +1,133 @@
+"""Greedy shrinking of divergent oracle cases.
+
+Delta-debugging flavour: given a divergent case and a predicate that
+re-checks divergence, repeatedly try size-reducing transformations and
+keep any candidate that still diverges, until no transformation helps
+(a fixpoint) or the wall budget runs out.  The pass order is fixed and
+every transformation is deterministic, so shrinking the same case
+against the same code always lands on the same minimal reproducer.
+
+The passes move along the axes case generation randomizes: drop a
+co-scheduled kernel, drop the controller, halve block/iteration
+counts, strip phases and phase features, shrink SM geometry.  Each
+accepted step strictly reduces a case-size measure, so termination
+does not depend on the budget.
+"""
+
+import time
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+from .generate import OracleCase, OracleKernel, OraclePhase
+
+
+def case_size(case: OracleCase) -> int:
+    """Rough work measure used to insist shrink steps make progress."""
+    size = case.sm_count
+    for k in case.kernels:
+        size += (k.total_blocks * k.iterations * k.wcta
+                 + 10 * len(k.phases) + k.max_blocks)
+    if case.controller[0] != "baseline":
+        size += 5
+    return size
+
+
+def _with_kernels(case: OracleCase,
+                  kernels: List[OracleKernel]) -> OracleCase:
+    return replace(case, kernels=kernels)
+
+
+def _map_kernel(case: OracleCase, idx: int, **changes) -> OracleCase:
+    kernels = list(case.kernels)
+    kernels[idx] = replace(kernels[idx], **changes)
+    return _with_kernels(case, kernels)
+
+
+def _candidates(case: OracleCase) -> List[Tuple[str, OracleCase]]:
+    """Every one-step reduction of a case, in priority order."""
+    out: List[Tuple[str, OracleCase]] = []
+    # 1. Drop a co-scheduled kernel entirely.
+    if len(case.kernels) > 1:
+        for i in range(len(case.kernels)):
+            kept = [k for j, k in enumerate(case.kernels) if j != i]
+            out.append((f"drop-kernel-{i}", _with_kernels(case, kept)))
+    # 2. Drop the controller.
+    if case.controller[0] != "baseline":
+        out.append(("drop-controller",
+                    replace(case, controller=["baseline"])))
+    for i, k in enumerate(case.kernels):
+        # 3. Halve the bulk knobs.
+        if k.total_blocks > 1:
+            out.append((f"halve-blocks-{i}", _map_kernel(
+                case, i, total_blocks=max(1, k.total_blocks // 2))))
+        if k.iterations > 1:
+            out.append((f"halve-iterations-{i}", _map_kernel(
+                case, i, iterations=max(1, k.iterations // 2))))
+        if k.wcta > 1:
+            out.append((f"halve-wcta-{i}", _map_kernel(
+                case, i, wcta=max(1, k.wcta // 2))))
+        if k.max_blocks > 1:
+            out.append((f"halve-max-blocks-{i}", _map_kernel(
+                case, i, max_blocks=max(1, k.max_blocks // 2))))
+        # 4. Strip structure.
+        if len(k.phases) > 1:
+            out.append((f"drop-phases-{i}", _map_kernel(
+                case, i, phases=[k.phases[0]])))
+        if k.barrier_interval:
+            out.append((f"drop-barriers-{i}", _map_kernel(
+                case, i, barrier_interval=0)))
+        # 5. Neutralise phase features.
+        for j, p in enumerate(k.phases):
+            plain = OraclePhase(fraction=p.fraction,
+                                alu_per_mem=p.alu_per_mem, txns=p.txns)
+            if p != plain:
+                phases = list(k.phases)
+                phases[j] = plain
+                out.append((f"plain-phase-{i}.{j}", _map_kernel(
+                    case, i, phases=phases)))
+    # 6. Shrink the chip (keep one SM per kernel).
+    if case.sm_count > max(1, len(case.kernels)):
+        out.append(("drop-sm", replace(case,
+                                       sm_count=case.sm_count - 1)))
+    return out
+
+
+def shrink_case(case: OracleCase,
+                is_divergent: Callable[[OracleCase], bool],
+                budget_s: Optional[float] = None,
+                log: Optional[Callable[[str], None]] = None
+                ) -> OracleCase:
+    """Smallest still-divergent case reachable by greedy reduction.
+
+    ``is_divergent`` re-runs the diverging path pair on a candidate;
+    the input case is assumed divergent.  ``budget_s`` bounds wall
+    time (the shrink returns the best case found so far when it
+    expires); the result is deterministic whenever the budget does not
+    bite.
+    """
+    start = time.perf_counter()
+    current = case
+    progress = True
+    while progress:
+        progress = False
+        for name, candidate in _candidates(current):
+            if budget_s is not None and (
+                    time.perf_counter() - start) > budget_s:
+                return current
+            if case_size(candidate) >= case_size(current):
+                continue
+            try:
+                still = is_divergent(candidate)
+            except Exception:
+                # A candidate that errors outright still witnesses a
+                # path discrepancy only if the checker says so; treat
+                # checker errors as "not a simpler reproducer".
+                still = False
+            if still:
+                if log is not None:
+                    log(f"  shrink: {name} -> size "
+                        f"{case_size(candidate)}")
+                current = candidate
+                progress = True
+                break
+    return current

@@ -48,14 +48,31 @@ class ClockDomain:
 
         Used by the quiescent fast-forward path: when nothing can happen
         for a stretch of ticks the domain's cycles are accounted in bulk.
+
+        Must be bit-identical to ``ticks`` individual :meth:`advance`
+        calls: a bulk ``rate * ticks`` multiply rounds differently from
+        repeated add-and-truncate, which can land a domain cycle on a
+        different base tick after a fast-forward than cycle-by-cycle
+        stepping would -- an observable divergence.  At the nominal
+        rate the accumulator's fraction never changes, so that common
+        case stays O(1); fractional rates replay the per-tick updates.
         """
         if ticks < 0:
             raise ConfigError("ticks must be non-negative")
-        self._acc += self.rate * ticks
-        n = int(self._acc)
-        self._acc -= n
-        self.cycles += n
-        return n
+        if self.rate == 1.0:
+            self.cycles += ticks
+            return ticks
+        acc = self._acc
+        rate = self.rate
+        total = 0
+        for _ in range(ticks):
+            acc += rate
+            n = int(acc)
+            acc -= n
+            total += n
+        self._acc = acc
+        self.cycles += total
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ClockDomain({self.name!r}, rate={self.rate:.3f})"

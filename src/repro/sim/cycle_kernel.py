@@ -655,7 +655,14 @@ def _render(template: str, fragments: dict) -> str:
         if stripped.startswith("${") and stripped.endswith("}"):
             name = stripped[2:-1]
             indent = raw[:len(raw) - len(raw.lstrip())]
-            body = fragments[name]
+            try:
+                body = fragments[name]
+            except KeyError:
+                raise SimulationError(
+                    f"cycle-kernel template references unknown "
+                    f"fragment ${{{name}}}; known fragments: "
+                    f"{sorted(fragments)}"
+                ) from None
             if "${" in body:
                 body = _render(body, fragments)
             out.append(textwrap.indent(body, indent).rstrip("\n"))
@@ -675,9 +682,17 @@ def _fragments() -> dict:
     }
 
 
-def render_source(template: str) -> str:
-    """The full generated source of one template (debugging aid)."""
-    return _render(template, _fragments())
+def render_source(template: str, fragments=None) -> str:
+    """The full generated source of one template (debugging aid).
+
+    ``fragments`` overrides individual stock fragments by name; the
+    differential oracle uses it to compile deliberately mutated cycle
+    bodies without touching the canonical templates.
+    """
+    merged = _fragments()
+    if fragments:
+        merged.update(fragments)
+    return _render(template, merged)
 
 
 def _exec_globals() -> dict:
@@ -700,33 +715,93 @@ def _exec_globals() -> dict:
     }
 
 
-def _compile(tag: str, template: str, name: str):
-    source = render_source(template)
+def compile_template(tag: str, template: str, entry: str, fragments=None):
+    """Compile ``template`` and return its ``entry`` callable.
+
+    The rendered source is registered with :mod:`linecache` under
+    ``<cycle-kernel:tag>`` so tracebacks, pdb, and
+    ``inspect.getsource`` resolve line numbers into real text.
+    ``fragments`` overrides stock fragments by name (see
+    :func:`render_source`); the oracle's injected-bug tests compile a
+    mutated ``MEM_CYCLE_CORE`` this way.
+    """
+    source = render_source(template, fragments)
     filename = f"{SOURCE_PREFIX}{tag}>"
     namespace = _exec_globals()
     exec(compile(source, filename, "exec"), namespace)
-    # Register the generated source so tracebacks, pdb, and
-    # inspect.getsource resolve line numbers into real text.
     linecache.cache[filename] = (
         len(source), None, source.splitlines(True), filename)
-    return namespace[name]
+    try:
+        return namespace[entry]
+    except KeyError:
+        raise SimulationError(
+            f"cycle-kernel template {tag!r} defines no entry point "
+            f"{entry!r}"
+        ) from None
+
+
+#: Every compiled specialization, keyed by its linecache tag.  ``kind``
+#: distinguishes the single-step reference entry points ("method") from
+#: the fused run loops ("run-loop"); the differential oracle derives
+#: its execution-path matrix from this registry instead of hard-coding
+#: the paths, so a new specialization added here is automatically
+#: fuzzed (or rejected by the oracle's coverage test until a family
+#: binding exists for it).
+SPECIALIZATIONS = {
+    "cycle-once": {
+        "template": CYCLE_ONCE,
+        "entry": "cycle_once",
+        "kind": "method",
+        "installed_as": "repro.sim.sm.SM.cycle_once",
+    },
+    "memory-cycle": {
+        "template": MEMORY_CYCLE,
+        "entry": "cycle",
+        "kind": "method",
+        "installed_as": "repro.sim.memory.MemorySubsystem.cycle",
+    },
+    "chip-loop": {
+        "template": CHIP_LOOP,
+        "entry": "_cycle_loop",
+        "kind": "run-loop",
+        "installed_as": "repro.sim.gpu.GPU._cycle_loop",
+    },
+    "per-sm-loop": {
+        "template": PER_SM_LOOP,
+        "entry": "_cycle_loop",
+        "kind": "run-loop",
+        "installed_as": "repro.sim.per_sm_vrm.PerSMVRMGPU._cycle_loop",
+    },
+}
+
+
+def build(tag: str):
+    """Compile the registered specialization ``tag``."""
+    try:
+        spec = SPECIALIZATIONS[tag]
+    except KeyError:
+        raise SimulationError(
+            f"unknown cycle-kernel specialization {tag!r}; "
+            f"known: {sorted(SPECIALIZATIONS)}"
+        ) from None
+    return compile_template(tag, spec["template"], spec["entry"])
 
 
 def build_cycle_once():
     """Compile ``SM.cycle_once`` (single-SM specialization)."""
-    return _compile("cycle-once", CYCLE_ONCE, "cycle_once")
+    return build("cycle-once")
 
 
 def build_memory_cycle():
     """Compile ``MemorySubsystem.cycle``."""
-    return _compile("memory-cycle", MEMORY_CYCLE, "cycle")
+    return build("memory-cycle")
 
 
 def build_chip_cycle_loop():
     """Compile ``GPU._cycle_loop`` (chip-wide fused loop)."""
-    return _compile("chip-loop", CHIP_LOOP, "_cycle_loop")
+    return build("chip-loop")
 
 
 def build_per_sm_cycle_loop():
     """Compile ``PerSMVRMGPU._cycle_loop`` (per-SM-VRM fused loop)."""
-    return _compile("per-sm-loop", PER_SM_LOOP, "_cycle_loop")
+    return build("per-sm-loop")

@@ -105,8 +105,17 @@ class MemorySubsystem:
         Callers guarantee :meth:`quiescent` held and that no response
         comes due strictly inside the skipped span; the boundary cycle
         itself is executed normally afterwards.
+
+        Executing a quiescent cycle explicitly always leaves the DRAM
+        bandwidth accumulator saturated at one cycle's allowance (both
+        the idle short-circuit and the busy path's no-banking clamp end
+        there with empty queues), so a skipped span must too --
+        otherwise the first burst after a fast-forward is served with
+        less banked bandwidth than the cycle-by-cycle path grants it.
         """
-        self.cycle_count += n
+        if n:
+            self.cycle_count += n
+            self._dram_acc = self.cfg.dram_bytes_per_cycle
 
     @property
     def outstanding(self) -> int:

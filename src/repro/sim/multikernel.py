@@ -13,7 +13,10 @@ and the majority rule freezes both domains; with the per-SM variant
 point -- the quantitative version of the paper's remark.
 """
 
+import hashlib
+import json
 from collections import deque
+from dataclasses import replace
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import WorkloadError
@@ -121,3 +124,72 @@ class MultiKernelWorkload:
                 return spec
         # SMs outside every partition idle on the first spec's geometry.
         return self.assignments[0][0]
+
+
+# ----------------------------------------------------------------------
+# Deterministic result digesting.
+# ----------------------------------------------------------------------
+def digest_payload(payload) -> str:
+    """sha256 of the canonical JSON encoding of ``payload``.
+
+    Canonical means sorted keys and no whitespace, so two payloads
+    digest equal iff they are value-equal -- the property the golden
+    pinning in ``tests/test_cycle_kernel.py`` and the differential
+    oracle both rely on.  Floats are serialised by ``repr`` (json's
+    default), which round-trips exactly on every supported platform.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Co-schedule builders.
+# ----------------------------------------------------------------------
+def coschedule(names: Sequence[str], sm_count: int, scale: float = 1.0,
+               seed: int = 2014) -> MultiKernelWorkload:
+    """Even SM split of the named suite kernels as one concurrent launch.
+
+    The chip's SMs are divided into ``len(names)`` contiguous
+    partitions (earlier partitions absorb the remainder).  Each spec's
+    ``total_blocks`` is scaled by its partition's share of the chip so
+    the per-SM load matches the kernel's single-kernel run, and its
+    iteration count by ``scale`` exactly as ``bench_kernel`` does.
+    Multi-invocation specs are collapsed to their first invocation:
+    the concurrent phase is inherently one launch.
+    """
+    from ..workloads.suite import kernel_by_name
+
+    if not names:
+        raise WorkloadError("coschedule needs at least one kernel name")
+    if sm_count < len(names):
+        raise WorkloadError(
+            f"cannot partition {sm_count} SMs among {len(names)} kernels")
+    base = sm_count // len(names)
+    extra = sm_count % len(names)
+    assignments = []
+    next_sm = 0
+    for i, name in enumerate(names):
+        width = base + (1 if i < extra else 0)
+        sm_ids = list(range(next_sm, next_sm + width))
+        next_sm += width
+        spec = kernel_by_name(name)
+        if scale != 1.0:
+            spec = spec.scaled(scale)
+        blocks = max(1, spec.total_blocks * width // sm_count)
+        spec = replace(spec, invocations=1, total_blocks=blocks,
+                       variant=None)
+        assignments.append((spec, sm_ids))
+    return MultiKernelWorkload(assignments, seed=seed)
+
+
+def bench_coschedule(name: str, sm_count: int, scale: float = 1.0,
+                     seed: int = 2014) -> MultiKernelWorkload:
+    """The bench suite's ``<kernel>@multikernel`` pairing.
+
+    Pairs ``name`` with a partner of a different behavioural corner so
+    the concurrent run exercises cross-partition memory contention:
+    ``lbm`` (memory-bound) by default, ``cutcp`` (compute-bound) when
+    the kernel under test is lbm itself.
+    """
+    partner = "lbm" if name != "lbm" else "cutcp"
+    return coschedule([name, partner], sm_count, scale=scale, seed=seed)

@@ -6,12 +6,13 @@ import pytest
 
 from helpers import tiny_sim
 from repro.bench import (BENCH_FORMAT, BenchError, bench_kernel, compare,
-                         geomean, load_results, run_suite, save_results)
+                         geomean, load_results, machine_fingerprint,
+                         run_suite, save_results)
 from repro.bench.__main__ import main
 
 
-def _doc(rates, scale=0.3):
-    return {
+def _doc(rates, scale=0.3, machine=None):
+    doc = {
         "format": BENCH_FORMAT,
         "mode": "quick",
         "scale": scale,
@@ -21,6 +22,9 @@ def _doc(rates, scale=0.3):
                     for name, rate in rates.items()},
         "geomean_ticks_per_sec": round(geomean(list(rates.values())), 1),
     }
+    if machine is not None:
+        doc["machine"] = machine
+    return doc
 
 
 def test_geomean_basics():
@@ -42,6 +46,25 @@ def test_bench_kernel_runs_and_reports(tmp_path):
 def test_bench_kernel_rejects_bad_repeats():
     with pytest.raises(BenchError):
         bench_kernel("cutcp", repeats=0)
+    with pytest.raises(BenchError):
+        bench_kernel("cutcp", variant="quantum")
+
+
+def test_bench_kernel_multikernel_variant():
+    """The @multikernel rows time a real co-schedule, deterministically."""
+    sim = tiny_sim()
+    row = bench_kernel("cutcp", scale=0.05, repeats=2, sim=sim,
+                       variant="multikernel")
+    solo = bench_kernel("cutcp", scale=0.05, repeats=1, sim=sim)
+    assert row["ticks"] > 0
+    assert row["ticks"] != solo["ticks"]  # the partner changes the run
+
+
+def test_machine_fingerprint_is_stable_and_stringly():
+    fp = machine_fingerprint()
+    assert fp == machine_fingerprint()
+    assert set(fp) == {"machine", "system", "processor", "python"}
+    assert all(isinstance(v, str) for v in fp.values())
 
 
 def test_save_and_load_roundtrip(tmp_path):
@@ -95,6 +118,37 @@ def test_compare_notes_scale_and_kernel_mismatches():
     text = "\n".join(lines)
     assert "scales differ" in text
     assert "gone" in text
+
+
+def test_compare_gates_only_on_matching_fingerprints():
+    """A below-floor ratio fails on the same machine, warns across
+    machines, and fails when either document predates fingerprints."""
+    here = {"machine": "x86_64", "system": "Linux",
+            "processor": "x86_64", "python": "CPython-3.12.0"}
+    there = dict(here, machine="arm64", processor="arm64")
+    base, slow = _doc({"a": 100.0}), _doc({"a": 50.0})
+    # Same fingerprint: enforced.
+    _, ok = compare(_doc({"a": 100.0}, machine=here),
+                    _doc({"a": 50.0}, machine=here))
+    assert not ok
+    # Different fingerprints: advisory.
+    lines, ok = compare(_doc({"a": 100.0}, machine=here),
+                        _doc({"a": 50.0}, machine=there))
+    assert ok
+    text = "\n".join(lines)
+    assert "fingerprints differ" in text
+    assert "not gated" in text
+    # Fingerprint missing on either side: enforced (old baselines).
+    assert not compare(base, slow)[1]
+    assert not compare(_doc({"a": 100.0}, machine=here), slow)[1]
+    # Mismatch never hides an improvement or a within-floor result.
+    assert compare(_doc({"a": 100.0}, machine=here),
+                   _doc({"a": 95.0}, machine=there))[1]
+
+
+def test_run_suite_records_the_fingerprint():
+    doc = run_suite(kernels=["cutcp"], scale=0.05, repeats=1)
+    assert doc["machine"] == machine_fingerprint()
 
 
 def test_compare_requires_common_kernels():

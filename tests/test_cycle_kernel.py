@@ -37,6 +37,10 @@ GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
                            "cycle_kernel_golden.json")
 GOLDEN_SCALE = 0.1
 BENCH_KERNELS = ("cutcp", "lbm", "spmv", "leuko-1")
+#: Concurrent-kernel entries ("a+b" = coschedule of a and b) pinned the
+#: same way: the partitioned GWDE and per-SM geometry go through the
+#: same compiled loops, so they need the same drift tripwire.
+MULTIKERNEL_GOLDENS = ("cutcp+lbm", "spmv+lbm")
 CONFIGS = ("chip-baseline", "per-sm-baseline", "per-sm-performance",
            "per-sm-energy")
 
@@ -46,11 +50,19 @@ def _default_sim():
     return default_sim()
 
 
+def _golden_workload(kernel: str, sim):
+    if "+" in kernel:
+        from repro.sim.multikernel import coschedule
+        return coschedule(kernel.split("+"), sim.gpu.sm_count,
+                          scale=GOLDEN_SCALE, seed=sim.seed)
+    return build_workload(kernel_by_name(kernel), seed=sim.seed,
+                          scale=GOLDEN_SCALE)
+
+
 def _run_payload(kernel: str, config: str) -> dict:
     """One deterministic run -> JSON-safe payload of everything observable."""
     sim = _default_sim()
-    workload = build_workload(kernel_by_name(kernel), seed=sim.seed,
-                              scale=GOLDEN_SCALE)
+    workload = _golden_workload(kernel, sim)
     decisions = []
     sm_segments = []
     if config == "chip-baseline":
@@ -84,7 +96,7 @@ def _load_golden() -> dict:
 
 
 @pytest.mark.parametrize("config", CONFIGS)
-@pytest.mark.parametrize("kernel", BENCH_KERNELS)
+@pytest.mark.parametrize("kernel", BENCH_KERNELS + MULTIKERNEL_GOLDENS)
 def test_golden_bit_identity(kernel, config):
     """Runs reproduce the digests captured on the method-path code."""
     golden = _load_golden()[kernel][config]
@@ -164,9 +176,65 @@ def test_no_mirroring_warnings_remain_in_sim_sources():
     assert not offenders, offenders
 
 
+def test_unknown_fragment_is_reported_with_known_names():
+    """A template naming a missing fragment fails loudly, not KeyError."""
+    from repro.errors import SimulationError
+    from repro.sim import cycle_kernel
+    with pytest.raises(SimulationError) as excinfo:
+        cycle_kernel.render_source("def f(self):\n    ${no_such_body}\n")
+    assert "no_such_body" in str(excinfo.value)
+    assert "mem_cycle_core" in str(excinfo.value)  # lists known names
+
+
+def test_unknown_specialization_tag_is_rejected():
+    from repro.errors import SimulationError
+    from repro.sim import cycle_kernel
+    with pytest.raises(SimulationError) as excinfo:
+        cycle_kernel.build("warp-scheduler-loop")
+    assert "warp-scheduler-loop" in str(excinfo.value)
+    assert "chip-loop" in str(excinfo.value)  # lists the registry
+
+
+def test_compile_template_requires_the_entry_point():
+    from repro.errors import SimulationError
+    from repro.sim import cycle_kernel
+    with pytest.raises(SimulationError) as excinfo:
+        cycle_kernel.compile_template("scratch-entry", "x = 1\n", "f")
+    assert "'f'" in str(excinfo.value)
+
+
+def test_compiled_sources_resolve_through_linecache():
+    """Tracebacks and inspect see real text for every specialization."""
+    import inspect
+    import linecache
+    from repro.sim import cycle_kernel
+    for tag, spec in cycle_kernel.SPECIALIZATIONS.items():
+        fn = cycle_kernel.build(tag)
+        filename = fn.__code__.co_filename
+        assert filename == f"{cycle_kernel.SOURCE_PREFIX}{tag}>"
+        lines = linecache.getlines(filename)
+        assert lines, f"{tag}: linecache has no source"
+        assert f"def {spec['entry']}" in "".join(lines)
+        # inspect.getsource goes through linecache too.
+        assert spec["entry"] in inspect.getsource(fn)
+
+
+def test_fragment_overrides_compile_a_mutated_body():
+    """The oracle's injected-bug hook: overriding one stock fragment."""
+    from repro.sim import cycle_kernel
+    mutated = cycle_kernel.MEM_CYCLE_CORE.replace(
+        "due = now + dram_latency", "due = now + dram_latency + 1")
+    assert mutated != cycle_kernel.MEM_CYCLE_CORE
+    fn = cycle_kernel.compile_template(
+        "scratch-memory-cycle", cycle_kernel.MEMORY_CYCLE, "cycle",
+        fragments={"mem_cycle_core": mutated})
+    import inspect
+    assert "dram_latency + 1" in inspect.getsource(fn)
+
+
 def _build_golden() -> dict:
     golden = {}
-    for kernel in BENCH_KERNELS:
+    for kernel in BENCH_KERNELS + MULTIKERNEL_GOLDENS:
         golden[kernel] = {}
         for config in CONFIGS:
             payload = _run_payload(kernel, config)
