@@ -35,10 +35,10 @@ def main(argv=None) -> int:
     parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
                         help="compare two result files instead of "
                              "running")
-    parser.add_argument("--threshold", type=float, default=0.30,
+    parser.add_argument("--threshold", type=float, default=0.10,
                         metavar="T",
                         help="tolerated geomean ticks/sec regression "
-                             "for --compare (default: 0.30)")
+                             "for --compare (default: 0.10)")
     args = parser.parse_args(argv)
 
     try:

@@ -19,7 +19,8 @@ built on top (see :mod:`repro.engine.check`).
 """
 
 from .cache import DEFAULT_CACHE_DIR, DiskCache
-from .executor import (Engine, ExecutionReport, JobOutcome, execute_job)
+from .executor import (Engine, ExecutionReport, JobOutcome,
+                       execute_batch_group, execute_job)
 from .fingerprint import CACHE_FORMAT, code_salt, job_digest
 from .jobs import Job, as_jobs, collect_jobs, make_controller
 from .serialize import ReproJSONEncoder, dump_json, dumps_json
@@ -30,6 +31,7 @@ __all__ = [
     "Engine",
     "ExecutionReport",
     "JobOutcome",
+    "execute_batch_group",
     "execute_job",
     "CACHE_FORMAT",
     "code_salt",

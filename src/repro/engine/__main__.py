@@ -24,6 +24,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", type=str,
                         default=DEFAULT_CACHE_DIR, metavar="DIR",
                         help="on-disk run cache location")
+    parser.add_argument("--batch", action="store_true",
+                        help="group compatible jobs into batched "
+                             "lockstep runs (repro.sim.batch)")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        metavar="N",
+                        help="max lanes per batch job with --batch "
+                             "(default: 16)")
 
 
 def run_check(args) -> int:
@@ -33,7 +40,8 @@ def run_check(args) -> int:
     kernels = reference["kernels"] or None
     engine = Engine(sim=default_sim(), scale=reference["scale"],
                     jobs=max(1, args.jobs), cache_dir=args.cache_dir,
-                    use_cache=not args.no_cache)
+                    use_cache=not args.no_cache,
+                    batch_size=args.batch_size if args.batch else None)
     cache = RunCache(engine=engine)
 
     plan = check_mod.guard_jobs(kernels=kernels, sim=cache.sim)

@@ -39,12 +39,38 @@ def execute_job(kernel: str, key: ControllerKey, scale: float,
     return result, time.perf_counter() - start
 
 
+def execute_batch_group(kernel: str, keys: List[ControllerKey],
+                        scale: float,
+                        sim: SimConfig) -> List[Tuple[RunResult, float]]:
+    """Run one kernel under many controller keys as one batch.
+
+    The batched worker entry point: all keys share one workload build
+    and one process, stepped in lockstep by
+    :func:`repro.sim.batch.run_batch`.  Per-lane results are
+    bit-identical to :func:`execute_job`'s (the oracle's ``batch:*``
+    paths pin this), so they are cached under the same digests.  Wall
+    time is apportioned to lanes by tick share, keeping per-job
+    timing reports meaningful.
+    """
+    from ..sim.batch import BatchLane, run_batch
+    start = time.perf_counter()
+    workload = build_workload(kernel_by_name(kernel), scale=scale,
+                              seed=sim.seed)
+    lanes = [BatchLane(workload=workload, sim=sim,
+                       controller=make_controller(key, sim.equalizer))
+             for key in keys]
+    results = run_batch(lanes)
+    wall = time.perf_counter() - start
+    total_ticks = sum(r.result.ticks for r in results) or 1
+    return [(r, wall * r.result.ticks / total_ticks) for r in results]
+
+
 @dataclass
 class JobOutcome:
     """What happened to one job during :meth:`Engine.execute`."""
 
     job: Job
-    #: "memory", "disk", or "run".
+    #: "memory", "disk", "run", or "batch" (a lane of a batched run).
     source: str
     seconds: float = 0.0
     attempts: int = 0
@@ -75,7 +101,7 @@ class ExecutionReport:
     @property
     def executed(self) -> int:
         return sum(1 for o in self.outcomes
-                   if o.ok and o.source == "run")
+                   if o.ok and o.source in ("run", "batch"))
 
     @property
     def failures(self) -> List[JobOutcome]:
@@ -105,12 +131,19 @@ class Engine:
     def __init__(self, sim: Optional[SimConfig] = None,
                  scale: float = 1.0, jobs: int = 1,
                  cache_dir: str = DEFAULT_CACHE_DIR,
-                 use_cache: bool = True, worker=None) -> None:
+                 use_cache: bool = True, worker=None,
+                 batch_size: Optional[int] = None) -> None:
         if jobs < 1:
             raise EngineError("jobs must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise EngineError("batch_size must be >= 1")
         self.sim = sim or SimConfig()
         self.scale = scale
         self.jobs = jobs
+        #: When set, plan misses are grouped by kernel and run through
+        #: the batched backend (repro.sim.batch), up to this many
+        #: controller lanes per batch job.
+        self.batch_size = batch_size
         self.disk = DiskCache(cache_dir) if use_cache else None
         self._worker = worker or execute_job
         self._memory: Dict[Tuple[str, ControllerKey], RunResult] = {}
@@ -193,15 +226,22 @@ class Engine:
     # -- plan execution ------------------------------------------------
 
     def execute(self, plan: List[Job],
-                workers: Optional[int] = None) -> ExecutionReport:
+                workers: Optional[int] = None,
+                batch_size: Optional[int] = None) -> ExecutionReport:
         """Resolve every job in the plan, fanning misses out.
 
         Cache hits are resolved first; the remaining jobs run on a
-        process pool (``workers`` > 1) or inline.  Every job is
-        retried once if its first attempt crashes the worker process
-        or raises; a second failure lands in the report's failures.
+        process pool (``workers`` > 1) or inline.  With ``batch_size``
+        (or the engine's ``batch_size``) set, misses sharing a kernel
+        are grouped into batch jobs of up to that many lanes, each
+        batch occupying one worker slot; per-lane results land in the
+        cache exactly as individual runs would.  Every job is retried
+        once if its first attempt crashes the worker process or
+        raises (batched lanes retry solo); a second failure lands in
+        the report's failures.
         """
         workers = workers or self.jobs
+        batch_size = batch_size or self.batch_size
         start = time.perf_counter()
         by_job: Dict[Job, JobOutcome] = {}
         misses: List[Job] = []
@@ -214,7 +254,10 @@ class Engine:
             else:
                 misses.append(job)
         if misses:
-            if workers > 1:
+            if batch_size is not None and batch_size > 1:
+                self._execute_batched(misses, workers, by_job,
+                                      batch_size)
+            elif workers > 1:
                 self._execute_pool(misses, workers, by_job)
             else:
                 self._execute_serial(misses, by_job)
@@ -241,6 +284,84 @@ class Engine:
                 outcome.error = None
                 break
             by_job[job] = outcome
+
+    def _execute_batched(self, jobs: List[Job], workers: int,
+                         by_job: Dict[Job, JobOutcome],
+                         batch_size: int) -> None:
+        """Group misses by kernel into batch jobs of <= batch_size lanes.
+
+        Jobs sharing a kernel are *compatible*: they differ only in
+        controller key, so one batch shares a single workload build
+        and steps all lanes through one worker.  Each group occupies
+        one pool slot (or runs inline for workers=1).  A group that
+        raises is decomposed: every lane retries solo, so one bad lane
+        cannot sink its groupmates' second attempt.
+        """
+        by_kernel: Dict[str, List[Job]] = {}
+        for job in jobs:
+            by_kernel.setdefault(job.kernel, []).append(job)
+        groups: List[List[Job]] = []
+        for kernel_jobs in by_kernel.values():
+            for i in range(0, len(kernel_jobs), batch_size):
+                groups.append(kernel_jobs[i:i + batch_size])
+
+        solo_retry: List[Job] = []
+
+        def _settle(group: List[Job], pairs) -> None:
+            for job, (result, seconds) in zip(group, pairs):
+                self._store(job, result, seconds)
+                by_job[job] = JobOutcome(job=job, source="batch",
+                                         seconds=seconds, attempts=1)
+
+        def _fail(group: List[Job], error: str) -> None:
+            for job in group:
+                by_job[job] = JobOutcome(job=job, source="batch",
+                                         attempts=1, error=error)
+                solo_retry.append(job)
+
+        if workers > 1 and len(groups) > 1:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(groups)))
+            try:
+                futures = {pool.submit(
+                    execute_batch_group, group[0].kernel,
+                    [job.key for job in group], self.scale,
+                    self.sim): group for group in groups}
+                for future, group in futures.items():
+                    try:
+                        pairs = future.result()
+                    except Exception:
+                        _fail(group, traceback.format_exc())
+                    else:
+                        _settle(group, pairs)
+            finally:
+                pool.shutdown(wait=True)
+        else:
+            for group in groups:
+                try:
+                    pairs = execute_batch_group(
+                        group[0].kernel, [job.key for job in group],
+                        self.scale, self.sim)
+                except Exception:
+                    _fail(group, traceback.format_exc())
+                else:
+                    _settle(group, pairs)
+
+        # Second attempt: each lane of a failed group runs solo, in
+        # process (the pool may be broken if a worker died).
+        for job in solo_retry:
+            outcome = by_job[job]
+            outcome.attempts = 2
+            try:
+                result, seconds = self._worker(
+                    job.kernel, job.key, self.scale, self.sim)
+            except Exception:
+                outcome.error = traceback.format_exc()
+                continue
+            self._store(job, result, seconds)
+            outcome.source = "run"
+            outcome.seconds = seconds
+            outcome.error = None
 
     def _execute_pool(self, jobs: List[Job], workers: int,
                       by_job: Dict[Job, JobOutcome]) -> None:

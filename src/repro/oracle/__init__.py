@@ -24,9 +24,10 @@ path matrix and the shrinking strategy.
 from .diff import diff_payloads
 from .generate import (CASE_FORMAT, OracleCase, case_seeds,
                        generate_case)
-from .paths import (LOOP_FAMILIES, REFERENCE_VARIANT, VARIANTS,
-                    all_paths, build_case_workload, build_sim,
-                    discover_families, run_case_path, split_path)
+from .paths import (FAMILY_VARIANTS, LOOP_FAMILIES, REFERENCE_VARIANT,
+                    VARIANTS, all_paths, build_case_workload,
+                    build_sim, discover_families, run_case_path,
+                    split_path, variants_for)
 from .runner import (DEFAULT_DUMP_DIR, REPRODUCER_FORMAT, Finding,
                      OracleReport, check_pair, load_reproducer,
                      oracle_job, oracle_worker, run_oracle,
@@ -36,6 +37,7 @@ from .shrink import case_size, shrink_case
 __all__ = [
     "CASE_FORMAT",
     "DEFAULT_DUMP_DIR",
+    "FAMILY_VARIANTS",
     "Finding",
     "LOOP_FAMILIES",
     "OracleCase",
@@ -59,5 +61,6 @@ __all__ = [
     "run_oracle",
     "shrink_case",
     "split_path",
+    "variants_for",
     "write_reproducer",
 ]

@@ -3,7 +3,8 @@
 Paths are discovered from the cycle-kernel specialization registry
 (:data:`repro.sim.cycle_kernel.SPECIALIZATIONS`) rather than
 hard-coded: every registered run-loop specialization must have a
-*family* binding here, and each family expands into four variants:
+*family* binding here.  The chip and per-SM families expand into the
+classic four variants:
 
 ========== ==========================================================
 variant    what runs
@@ -18,11 +19,16 @@ fused-debug the compiled run loop with ``debug_counters`` on every
            from a full scan and raises on mismatch
 ========== ==========================================================
 
-All four variants of a family must produce bit-identical
-:class:`~repro.sim.results.RunResult` payloads.  The two families are
-*not* compared to each other: the chip loop records epochs on the
-SM-cycle axis and the per-SM-VRM loop on the tick axis, so their
-results legitimately differ.
+The batch family (the batched-sweep backend) has its own variants --
+``fused`` (the plain chip fused loop, which batched lanes claim
+bit-identity with), ``solo`` (a one-lane batch), and ``multi`` (the
+case mid-batch between decoy lanes) -- see :data:`FAMILY_VARIANTS`.
+
+All variants of a family must produce bit-identical
+:class:`~repro.sim.results.RunResult` payloads.  Families are *not*
+compared to each other: the chip loop records epochs on the SM-cycle
+axis and the per-SM-VRM loop on the tick axis, so their results
+legitimately differ.
 
 The method-path loops in this module intentionally mirror the
 *semantics* of the fused skeletons (tick structure, service-order
@@ -32,6 +38,7 @@ Divergence between them and the compiled loops is exactly what the
 oracle exists to catch.
 """
 
+import dataclasses
 from typing import Dict, List, Optional
 
 from ..config import EqualizerConfig, GPUConfig, SimConfig
@@ -52,12 +59,31 @@ from .generate import OracleCase
 LOOP_FAMILIES = {
     "chip-loop": "chip",
     "per-sm-loop": "per-sm",
+    "batch-loop": "batch",
 }
 
 #: Per-family variants; "fused" is the reference each other variant is
 #: diffed against.
 VARIANTS = ("fused", "fused-noff", "method", "fused-debug")
 REFERENCE_VARIANT = "fused"
+
+#: The batch family diffs the batched backend against the fused chip
+#: loop it claims bit-identity with: its "fused" reference *is* the
+#: plain chip fused path (same clocking, same epoch axis), "solo" runs
+#: the case as a one-lane batch, and "multi" runs it mid-batch between
+#: two decoy lanes (different seeds) to witness cross-lane isolation.
+#: So every batch pair the oracle checks is literally a
+#: batched-vs-fused leaf-exact diff.
+FAMILY_VARIANTS = {
+    "chip": VARIANTS,
+    "per-sm": VARIANTS,
+    "batch": ("fused", "solo", "multi"),
+}
+
+
+def variants_for(family: str):
+    """The variant tuple of a family (classic four unless overridden)."""
+    return FAMILY_VARIANTS.get(family, VARIANTS)
 
 
 def discover_families() -> Dict[str, str]:
@@ -82,10 +108,10 @@ def discover_families() -> Dict[str, str]:
 
 
 def all_paths() -> List[str]:
-    """Every path id, e.g. ``chip:fused``, ``per-sm:method``."""
+    """Every path id, e.g. ``chip:fused``, ``batch:solo``."""
     return [f"{family}:{variant}"
             for family in sorted(discover_families())
-            for variant in VARIANTS]
+            for variant in variants_for(family)]
 
 
 def split_path(path_id: str):
@@ -93,7 +119,8 @@ def split_path(path_id: str):
     if ":" not in path_id:
         raise OracleError(f"malformed path id {path_id!r}")
     family, variant = path_id.split(":", 1)
-    if family not in discover_families() or variant not in VARIANTS:
+    if (family not in discover_families()
+            or variant not in variants_for(family)):
         raise OracleError(
             f"unknown path {path_id!r}; known: {all_paths()}")
     return family, variant
@@ -287,6 +314,38 @@ class MethodPathPerSMVRMGPU(PerSMVRMGPU):
 _CHIP_CLASSES = {"method": MethodPathGPU}
 _PER_SM_CLASSES = {"method": MethodPathPerSMVRMGPU}
 
+#: Seed perturbations for the decoy lanes of ``batch:multi``.  Any
+#: nonzero masks do; fixed values keep the path deterministic.
+_DECOY_SEED_MASKS = (0x5A5A5A5A, 0x3C3C3C3C)
+
+
+def _run_batch_variant(case: OracleCase, variant: str, sim: SimConfig,
+                       workload, controller) -> RunResult:
+    """One batch-family path: fused reference, solo lane, or mid-batch.
+
+    ``fused`` runs the plain chip fused loop -- the exact path batched
+    lanes claim bit-identity with -- so the family's within-family
+    diffs are batched-vs-fused by construction.
+    """
+    from ..power.energy_model import compute_energy
+    from ..sim.batch import BatchLane, run_batch
+    if variant == "fused":
+        gpu = GPU(sim, controller=controller)
+        return compute_energy(gpu.run(workload), sim.power, sim.gpu)
+    lane = BatchLane(workload=workload, sim=sim, controller=controller)
+    if variant == "solo":
+        return run_batch([lane])[0]
+    # "multi": the case runs mid-batch between two decoy lanes seeded
+    # differently, witnessing that lanes share no observable state.
+    decoys = []
+    for mask in _DECOY_SEED_MASKS:
+        dcase = dataclasses.replace(case, seed=case.seed ^ mask)
+        dsim = build_sim(dcase)
+        decoys.append(BatchLane(
+            workload=build_case_workload(dcase), sim=dsim,
+            controller=make_case_controller(dcase, "batch", dsim)))
+    return run_batch([decoys[0], lane, decoys[1]])[1]
+
 
 def run_case_path(case: OracleCase, path_id: str,
                   sim: Optional[SimConfig] = None) -> RunResult:
@@ -302,6 +361,9 @@ def run_case_path(case: OracleCase, path_id: str,
         sim = build_sim(case)
     workload = build_case_workload(case)
     controller = make_case_controller(case, family, sim)
+    if family == "batch":
+        return _run_batch_variant(case, variant, sim, workload,
+                                  controller)
     if family == "chip":
         cls = _CHIP_CLASSES.get(variant, GPU)
     else:

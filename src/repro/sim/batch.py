@@ -1,0 +1,286 @@
+"""Batched-sweep backend: many independent simulations per process.
+
+A DVFS grid or controller ablation is hundreds of near-identical
+simulations; running each in its own worker pays Python start-up,
+import, and interpreter warm-up once per *run*.  This module amortises
+that cost across a whole sweep: N independent lanes (workload +
+SimConfig + controller) are stepped through one process in
+bounded-skew lockstep.
+
+Three pieces cooperate:
+
+* :class:`BatchLaneGPU` -- a :class:`~repro.sim.gpu.GPU` whose run
+  loop is the resumable ``batch-loop`` specialization compiled from
+  :mod:`repro.sim.cycle_kernel`.  It steps an invocation in bounded
+  chunks (``_cycle_chunk``), parking idle SMs out of the per-cycle
+  service scan on a wake calendar and re-admitting them at fill
+  deliveries, epoch boundaries, and invocation starts.
+* :class:`BatchState` -- a structure-of-arrays view of the batch
+  (one slot per lane: ticks, clock-domain cycles, instruction and
+  L2/DRAM counters), vectorized over numpy when it is available so
+  the lockstep horizon and progress accounting cost O(1) Python
+  operations per round instead of O(lanes).
+* :func:`run_batch` -- the lockstep scheduler.  Each round it picks a
+  shared tick horizon (slowest live lane + chunk), steps every live
+  lane up to it, and refreshes the SoA.  Lanes whose control flow
+  diverges from the lockstep cadence -- a fast-forward span jumping
+  past the horizon, an epoch boundary re-tuning the chip, a block
+  launch/retire wavefront -- simply *peel off*: they keep executing
+  the same compiled per-lane path to their natural stopping point and
+  are re-admitted to the common cadence at the next round's sync
+  point.  Divergence therefore costs skew, never correctness.
+
+Every lane produces the bit-exact :class:`~repro.sim.results.RunResult`
+that :func:`~repro.sim.gpu.run_kernel` would have produced solo -- the
+oracle's ``batch:*`` paths and the lane-divergence property tests pin
+this -- so batched results share content-addressed cache entries with
+sequential runs.
+"""
+
+import dataclasses
+import gc
+from typing import List, Optional
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in requirements-ci
+    _np = None
+
+from ..config import SimConfig
+from .cycle_kernel import build_batch_cycle_chunk
+from .gpu import GPU
+from .results import RunResult
+
+#: Default lockstep chunk: how far past the slowest live lane each
+#: round's horizon reaches.  Large enough that per-round scheduling
+#: overhead vanishes, small enough that lanes stay cache-warm together.
+DEFAULT_CHUNK_TICKS = 4096
+
+#: Default admission window: how many lanes step concurrently.  Each
+#: live lane pins its whole object graph (SMs, warps, response
+#: buckets) in memory; interleaving too many thrashes the cache
+#: hierarchy (40 unwindowed lanes measured ~2x slower than 16), so
+#: lanes beyond the window queue and are admitted as slots free up.
+DEFAULT_WINDOW = 16
+
+
+class BatchLaneGPU(GPU):
+    """A GPU whose run loop is resumable and parks idle SMs.
+
+    Results are bit-identical to :class:`~repro.sim.gpu.GPU`: the
+    batch gate's parking is observationally equivalent to the standard
+    gate's per-cycle idle scan (the lag catch-up replays the parked
+    span through the same ``skip_cycles`` path), and chunk boundaries
+    keep all state on ``self`` so resumption is exact.
+    """
+
+    #: Chunk size used when a lane GPU is run solo via :meth:`run`
+    #: (still exercising the resume path, so solo and batched runs
+    #: share one code path).
+    solo_chunk_ticks = DEFAULT_CHUNK_TICKS
+
+    def __init__(self, sim: SimConfig, controller=None) -> None:
+        super().__init__(sim, controller=controller)
+        nsms = len(self.sms)
+        #: Per-SM service flags, indexed by ``sm.sm_id`` (SM itself is
+        #: ``__slots__``-frozen).  A cleared flag means the SM is
+        #: parked out of the per-cycle scan.
+        self._batch_runnable = [True] * nsms
+        #: cycle -> [sm_id]: parked SMs keyed by their next due cycle.
+        self._batch_wake_calendar = {}
+        #: Count of set flags; lets the compiled loop skip the whole
+        #: SM section of a cycle with one integer test.
+        self._batch_nrun = nsms
+        #: Tick at which the current invocation started; the chunk
+        #: loop cannot use a local for this (it must survive resume).
+        self._inv_start_tick = 0
+
+    def prepare_invocation(self, workload, invocation: int) -> None:
+        self._inv_start_tick = self.tick
+        # A fresh invocation arms every SM (prepare_kernel /
+        # ensure_blocks below may launch on any of them).
+        self._batch_wake_calendar.clear()
+        runnable = self._batch_runnable
+        for i in range(len(runnable)):
+            runnable[i] = True
+        self._batch_nrun = len(runnable)
+        super().prepare_invocation(workload, invocation)
+
+    def _deliver(self, sm_id: int, line: int, kind: int) -> None:
+        # A fill makes a parked SM's LSU drainable next cycle; re-admit
+        # it before the base delivery replays its parked span.  Stale
+        # calendar entries left behind are spurious wakes: the gate
+        # re-parks on them, so they are safe.
+        if not self._batch_runnable[sm_id]:
+            self._batch_runnable[sm_id] = True
+            self._batch_nrun += 1
+        super()._deliver(sm_id, line, kind)
+
+    #: The resumable chunk stepper, compiled at import time from the
+    #: ``batch-loop`` specialization in :mod:`repro.sim.cycle_kernel`.
+    _cycle_chunk = build_batch_cycle_chunk()
+
+    def _cycle_loop(self, workload):
+        """Solo-run adapter: drive the chunk stepper to completion."""
+        chunk = self.solo_chunk_ticks
+        while not self._cycle_chunk(workload, self.tick + chunk):
+            pass
+        return self._invocation_ticks[-1]
+
+
+@dataclasses.dataclass
+class BatchLane:
+    """One independent simulation in a batch.
+
+    ``sim`` and ``controller`` must be private to the lane (the same
+    freshness contract solo :func:`~repro.sim.gpu.run_kernel` gets);
+    sharing a controller across lanes would share its decision state.
+    """
+
+    workload: object
+    sim: SimConfig
+    controller: Optional[object] = None
+    fast_forward: bool = True
+
+
+class BatchState:
+    """Structure-of-arrays progress view: one slot per lane.
+
+    Holds the cross-lane scalars the lockstep scheduler needs --
+    wall-clock ticks, SM/memory clock-domain cycles, instruction and
+    L2/DRAM transaction counters, invocation index, and the done mask
+    -- as parallel arrays (numpy when available) rather than attribute
+    walks over N GPU objects per round.
+    """
+
+    _INT_FIELDS = ("tick", "sm_cycles", "mem_cycles", "instructions",
+                   "l2_txns", "dram_txns", "invocation")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        if _np is not None:
+            for name in self._INT_FIELDS:
+                setattr(self, name, _np.zeros(n, dtype=_np.int64))
+            self.done = _np.zeros(n, dtype=bool)
+        else:  # pragma: no cover - pure-python fallback
+            for name in self._INT_FIELDS:
+                setattr(self, name, [0] * n)
+            self.done = [False] * n
+
+    def refresh(self, idx: int, gpu: GPU, invocation: int) -> None:
+        self.tick[idx] = gpu.tick
+        self.sm_cycles[idx] = gpu.sm_domain.cycles
+        self.mem_cycles[idx] = gpu.mem_domain.cycles
+        self.instructions[idx] = gpu.total_instructions()
+        self.l2_txns[idx] = gpu.memory.l2_txns
+        self.dram_txns[idx] = gpu.memory.dram_txns
+        self.invocation[idx] = invocation
+
+    def mark_done(self, idx: int) -> None:
+        self.done[idx] = True
+
+    def live_indices(self) -> List[int]:
+        if _np is not None:
+            return [int(i) for i in _np.nonzero(~self.done)[0]]
+        return [i for i, d in enumerate(self.done) if not d]  # pragma: no cover
+
+    def min_live_tick(self) -> int:
+        """Slowest live lane's tick -- the anchor of the next horizon."""
+        if _np is not None:
+            live = ~self.done
+            if not bool(live.any()):
+                return 0
+            return int(self.tick[live].min())
+        ticks = [t for t, d in zip(self.tick, self.done) if not d]  # pragma: no cover
+        return min(ticks) if ticks else 0  # pragma: no cover
+
+
+def _finish_lane(gpu: BatchLaneGPU, lane: BatchLane) -> RunResult:
+    """Exactly the tail of :meth:`GPU.run` + :func:`run_kernel`."""
+    from ..power.energy_model import compute_energy
+    gpu._close_segment()
+    if gpu.controller is not None:
+        gpu.controller.on_run_end(gpu)
+    result = gpu._collect(lane.workload.name)
+    return compute_energy(result, lane.sim.power, lane.sim.gpu)
+
+
+def run_batch(lanes: List[BatchLane],
+              chunk_ticks: int = DEFAULT_CHUNK_TICKS,
+              window: int = DEFAULT_WINDOW) -> List[RunResult]:
+    """Step every lane to completion in bounded-skew lockstep.
+
+    At most ``window`` lanes are live at once; further lanes are
+    admitted as live ones finish (and their GPU object graphs are
+    released, keeping the resident footprint at ~window lanes).
+    Returns one :class:`RunResult` per lane, in lane order, each
+    bit-identical to what :func:`~repro.sim.gpu.run_kernel` would
+    produce for that lane alone.
+    """
+    if not lanes:
+        return []
+    if chunk_ticks < 1:
+        raise ValueError("chunk_ticks must be >= 1")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    n = len(lanes)
+    state = BatchState(n)
+    gpus: List[Optional[BatchLaneGPU]] = [None] * n
+    # invocation index per lane; staged[i] => prepare_invocation done,
+    # chunk stepping in progress.
+    invocation = [0] * n
+    staged = [False] * n
+    results: List[Optional[RunResult]] = [None] * n
+    next_admit = 0
+
+    def _admit(i: int) -> None:
+        gpu = BatchLaneGPU(lanes[i].sim, controller=lanes[i].controller)
+        gpu.enable_fast_forward = lanes[i].fast_forward
+        gpus[i] = gpu
+
+    # Same GC policy as run_kernel, paid once for the whole batch.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        while next_admit < min(n, window):
+            _admit(next_admit)
+            next_admit += 1
+        while True:
+            live = [i for i in state.live_indices()
+                    if gpus[i] is not None]
+            if not live:
+                break
+            for i in live:
+                lane, gpu = lanes[i], gpus[i]
+                # Each round every live lane advances by at most one
+                # chunk from its own clock, so skew across the window
+                # stays bounded by chunk_ticks plus any peeled span
+                # (a fast-forward jump past the budget rejoins here).
+                horizon = gpu.tick + chunk_ticks
+                while True:
+                    if not staged[i]:
+                        if invocation[i] >= lane.workload.invocations:
+                            results[i] = _finish_lane(gpu, lane)
+                            state.mark_done(i)
+                            gpus[i] = None
+                            if next_admit < n:
+                                _admit(next_admit)
+                                next_admit += 1
+                            break
+                        gpu.prepare_invocation(lane.workload,
+                                               invocation[i])
+                        staged[i] = True
+                    if gpu.tick >= horizon:
+                        break
+                    if gpu._cycle_chunk(lane.workload, horizon):
+                        invocation[i] += 1
+                        staged[i] = False
+                    else:
+                        break
+                if gpus[i] is not None:
+                    state.refresh(i, gpu, invocation[i])
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return results  # type: ignore[return-value]

@@ -1,0 +1,321 @@
+"""Batched-backend equivalence tests (``repro.sim.batch``).
+
+The batched backend's contract is bit identity: every lane of a batch
+produces the exact :class:`~repro.sim.results.RunResult` that a solo
+:func:`~repro.sim.gpu.run_kernel` call would have produced.  The tests
+here pin that contract from the angles the lockstep scheduler can get
+wrong:
+
+* lane divergence -- a lane that takes the fast-forward fallback
+  mid-batch (peeling off the common cadence) and a lane that never
+  diverges (fast-forward disabled) both match their solo runs
+  leaf-exactly;
+* degenerate shapes -- the empty batch and the one-lane batch;
+* windowed admission -- more lanes than the window, finishing at
+  different times, still return results in lane order;
+* the engine integration -- a batched :class:`~repro.engine.Engine`
+  populates the content-addressed cache with entries a sequential
+  engine replays as hits;
+* golden digests -- representative batch shapes are pinned in
+  ``tests/data/batch_golden.json`` the same way the cycle-kernel
+  goldens pin the solo loops.
+
+Regenerate the golden file (only when a behaviour change is intended)
+with ``PYTHONPATH=src:tests python tests/test_batch.py``.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import cache_spec, compute_spec, memory_spec, tiny_sim
+from repro.config import VF_HIGH, VF_LOW, VF_NORMAL
+from repro.engine import Engine, as_jobs, make_controller
+from repro.oracle.diff import diff_payloads
+from repro.sim.batch import BatchLane, BatchLaneGPU, run_batch
+from repro.sim.gpu import GPU, run_kernel
+from repro.workloads import build_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "batch_golden.json")
+
+#: Controller keys of the golden sweep shape: one per controller
+#: family, small enough to run on the tiny GPU.
+SWEEP_KEYS = (
+    ("baseline",),
+    ("static", VF_HIGH, VF_NORMAL, None),
+    ("static", VF_NORMAL, VF_LOW, None),
+    ("static", VF_NORMAL, VF_NORMAL, 2),
+    ("equalizer", "performance"),
+    ("equalizer", "energy"),
+    ("equalizer", "performance", "blocks-only"),
+    ("dyncta",),
+)
+
+
+def _lane(spec, key=("baseline",), seed=7, fast_forward=True):
+    sim = tiny_sim()
+    return BatchLane(workload=build_workload(spec, seed=seed), sim=sim,
+                     controller=make_controller(key, sim.equalizer),
+                     fast_forward=fast_forward)
+
+
+def _solo(spec, key=("baseline",), seed=7, fast_forward=True):
+    """The sequential reference for one lane."""
+    from repro.power.energy_model import compute_energy
+    sim = tiny_sim()
+    if fast_forward:
+        return run_kernel(build_workload(spec, seed=seed), sim,
+                          controller=make_controller(key, sim.equalizer))
+    gpu = GPU(sim, controller=make_controller(key, sim.equalizer))
+    gpu.enable_fast_forward = False
+    result = gpu.run(build_workload(spec, seed=seed))
+    return compute_energy(result, sim.power, sim.gpu)
+
+
+def _assert_leaf_exact(batched, solo, label):
+    diffs = diff_payloads(batched.to_dict(), solo.to_dict(),
+                          "batched", "solo")
+    assert not diffs, f"{label}: batched run diverged from solo:\n" \
+        + "\n".join(diffs)
+
+
+# ----------------------------------------------------------------------
+# Degenerate shapes
+# ----------------------------------------------------------------------
+def test_empty_batch_returns_empty_list():
+    assert run_batch([]) == []
+
+
+def test_single_lane_batch_matches_solo():
+    results = run_batch([_lane(compute_spec())])
+    assert len(results) == 1
+    _assert_leaf_exact(results[0], _solo(compute_spec()), "size-1")
+
+
+def test_run_batch_rejects_degenerate_parameters():
+    with pytest.raises(ValueError):
+        run_batch([_lane(compute_spec())], chunk_ticks=0)
+    with pytest.raises(ValueError):
+        run_batch([_lane(compute_spec())], window=0)
+
+
+# ----------------------------------------------------------------------
+# Lane divergence
+# ----------------------------------------------------------------------
+def _ff_spec():
+    """A spec whose run takes the fast-forward fallback.
+
+    Long dependence stalls with little memory traffic leave whole-SM
+    quiescent spans, which is exactly what the fast-forward scan peels
+    a lane off the lockstep cadence for.
+    """
+    return compute_spec(dep_latency=40, iterations=6)
+
+
+def test_ff_spec_actually_takes_the_fallback():
+    """The divergence test below is vacuous unless this lane really
+    fast-forwards.  Lanes advance by identical per-round budgets solo
+    and in-batch (the horizon is per-lane), so a solo chunked run
+    taking the fallback proves the in-batch lane takes it too.
+    """
+    lane = _lane(_ff_spec())
+    gpu = BatchLaneGPU(lane.sim, controller=lane.controller)
+    gpu.run(lane.workload)
+    assert gpu.ff_events > 0
+
+
+def test_divergent_and_lockstep_lanes_both_match_solo():
+    """One lane peels off via fast-forward, one never diverges."""
+    lanes = [
+        _lane(_ff_spec()),                                # diverges
+        _lane(memory_spec(), key=("equalizer", "performance"),
+              fast_forward=False),                        # never does
+        _lane(cache_spec(), key=("static", VF_LOW, VF_NORMAL, None)),
+    ]
+    results = run_batch(lanes, chunk_ticks=64)
+    _assert_leaf_exact(results[0], _solo(_ff_spec()), "ff-lane")
+    _assert_leaf_exact(
+        results[1],
+        _solo(memory_spec(), key=("equalizer", "performance"),
+              fast_forward=False),
+        "lockstep-lane")
+    _assert_leaf_exact(
+        results[2],
+        _solo(cache_spec(), key=("static", VF_LOW, VF_NORMAL, None)),
+        "cache-lane")
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       chunk=st.sampled_from([32, 256, 4096]))
+@settings(max_examples=6, deadline=None)
+def test_lane_identity_across_seeds_and_chunk_sizes(seed, chunk):
+    """Chunk geometry is invisible: any chunk size, any seed, the
+    batch reproduces the solo results bit for bit."""
+    spec = cache_spec(total_blocks=8, iterations=12)
+    lanes = [_lane(spec, seed=seed),
+             _lane(_ff_spec(), seed=seed, fast_forward=False)]
+    results = run_batch(lanes, chunk_ticks=chunk)
+    _assert_leaf_exact(results[0], _solo(spec, seed=seed),
+                       f"seed={seed}")
+    _assert_leaf_exact(
+        results[1], _solo(_ff_spec(), seed=seed, fast_forward=False),
+        f"seed={seed}/no-ff")
+
+
+# ----------------------------------------------------------------------
+# Windowed admission
+# ----------------------------------------------------------------------
+def test_results_in_lane_order_with_narrow_window():
+    """Six lanes through a two-lane window: admission order, finish
+    order, and the result list's lane order are all decoupled."""
+    specs = [compute_spec(), memory_spec(), cache_spec(),
+             _ff_spec(), memory_spec(iterations=8), compute_spec()]
+    keys = [("baseline",), ("equalizer", "energy"), ("ccws",),
+            ("baseline",), ("dyncta",), ("boost",)]
+    lanes = [_lane(s, key=k) for s, k in zip(specs, keys)]
+    results = run_batch(lanes, chunk_ticks=128, window=2)
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        _assert_leaf_exact(results[i], _solo(spec, key=key),
+                           f"lane {i} ({key[0]})")
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+def _tiny_engine(tmp_path, name, **kwargs):
+    return Engine(sim=tiny_sim(), scale=1.0,
+                  cache_dir=str(tmp_path / name), **kwargs)
+
+
+def _plan():
+    keys = [("baseline",), ("equalizer", "performance"),
+            ("static", VF_HIGH, VF_NORMAL, None), ("dyncta",)]
+    return as_jobs([("cutcp", key) for key in keys]
+                   + [("lbm", key) for key in keys[:2]])
+
+
+def test_engine_batched_results_equal_sequential(tmp_path):
+    seq = _tiny_engine(tmp_path, "seq")
+    bat = _tiny_engine(tmp_path, "bat", batch_size=4)
+    plan = _plan()
+    seq_report = seq.execute(plan)
+    bat_report = bat.execute(plan)
+    assert not seq_report.failures and not bat_report.failures
+    assert all(o.source == "run" for o in seq_report.outcomes)
+    assert all(o.source == "batch" for o in bat_report.outcomes)
+    for job in plan:
+        _assert_leaf_exact(bat.run(job.kernel, job.key),
+                           seq.run(job.kernel, job.key), job.label())
+
+
+def test_engine_batch_populated_cache_replays_as_hits(tmp_path):
+    """Batch lanes land in the content-addressed cache under the same
+    digests a sequential engine computes, so a later sequential engine
+    sees pure hits."""
+    plan = _plan()
+    bat = _tiny_engine(tmp_path, "shared", batch_size=16)
+    report = bat.execute(plan)
+    assert report.executed == len(plan)
+    replay = _tiny_engine(tmp_path, "shared").execute(plan)
+    assert replay.hits == len(plan)
+    assert replay.executed == 0
+
+
+def test_engine_batch_size_one_is_sequential(tmp_path):
+    """batch_size=1 degenerates to the plain serial path."""
+    eng = _tiny_engine(tmp_path, "one", batch_size=1)
+    report = eng.execute(_plan())
+    assert not report.failures
+    assert all(o.source == "run" for o in report.outcomes)
+
+
+# ----------------------------------------------------------------------
+# Compiled-fragment hygiene (mirror of the CI grep lint)
+# ----------------------------------------------------------------------
+def test_no_per_lane_python_loops_in_batch_fragments():
+    """The batch specialization must stay a per-GPU compiled loop; the
+    lockstep over lanes lives in run_batch, never in the kernel."""
+    from repro.sim import cycle_kernel
+    with open(cycle_kernel.__file__) as f:
+        assert "for lane in" not in f.read()
+
+
+# ----------------------------------------------------------------------
+# Golden digests of representative batch shapes
+# ----------------------------------------------------------------------
+def _golden_shapes():
+    """name -> (lanes, run_batch kwargs).  Built fresh per call: lanes
+    hold stateful workloads."""
+    sweep_sim = tiny_sim()
+    sweep_workload = build_workload(compute_spec(), seed=7)
+    # The sweep shape mirrors engine batching: one shared workload,
+    # one lane per controller key.
+    sweep = [BatchLane(workload=sweep_workload, sim=sweep_sim,
+                       controller=make_controller(key,
+                                                  sweep_sim.equalizer))
+             for key in SWEEP_KEYS]
+    mixed = [_lane(compute_spec()),
+             _lane(memory_spec(), key=("equalizer", "energy")),
+             _lane(_ff_spec(), fast_forward=False),
+             _lane(cache_spec(), key=("ccws",), seed=11)]
+    return {
+        "solo-compute": ([_lane(compute_spec())], {}),
+        "sweep-compute-8": (sweep, {}),
+        "mixed-windowed": (mixed, {"chunk_ticks": 128, "window": 2}),
+    }
+
+
+def _digest(payload) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _shape_payload(lanes, kwargs):
+    return [run.to_dict() for run in run_batch(lanes, **kwargs)]
+
+
+def _load_golden() -> dict:
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)["shapes"]
+
+
+@pytest.mark.parametrize("shape", sorted(_golden_shapes()))
+def test_batch_golden_digests(shape):
+    golden = _load_golden()[shape]
+    lanes, kwargs = _golden_shapes()[shape]
+    payload = _shape_payload(lanes, kwargs)
+    ticks = [run["result"]["ticks"] for run in payload]
+    assert ticks == golden["ticks"], (
+        f"{shape}: per-lane tick counts diverged from the golden "
+        f"capture ({ticks} vs {golden['ticks']})")
+    assert _digest(payload) == golden["digest"], (
+        f"{shape}: batch payload diverged from the golden capture "
+        f"despite matching ticks -- diff the lane payloads field by "
+        f"field")
+
+
+def _build_golden() -> dict:
+    golden = {}
+    for shape, (lanes, kwargs) in sorted(_golden_shapes().items()):
+        payload = _shape_payload(lanes, kwargs)
+        golden[shape] = {
+            "lanes": len(payload),
+            "ticks": [run["result"]["ticks"] for run in payload],
+            "digest": _digest(payload),
+        }
+        print(f"{shape:<18} lanes={golden[shape]['lanes']} "
+              f"{golden[shape]['digest'][:16]}")
+    return golden
+
+
+if __name__ == "__main__":
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump({"format": 1, "shapes": _build_golden()}, f,
+                  indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {GOLDEN_PATH}")

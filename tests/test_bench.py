@@ -5,7 +5,8 @@ import json
 import pytest
 
 from helpers import tiny_sim
-from repro.bench import (BENCH_FORMAT, BenchError, bench_kernel, compare,
+from repro.bench import (BENCH_FORMAT, BenchError, batch_sweep_keys,
+                         bench_batch_sweep, bench_kernel, compare,
                          geomean, load_results, machine_fingerprint,
                          run_suite, save_results)
 from repro.bench.__main__ import main
@@ -60,6 +61,24 @@ def test_bench_kernel_multikernel_variant():
     assert row["ticks"] != solo["ticks"]  # the partner changes the run
 
 
+def test_bench_batch_sweep_row_schema():
+    """The @batch rows time a 16-lane sweep and record the honest
+    batched-vs-sequential ratio."""
+    row = bench_batch_sweep("cutcp", scale=0.05, sim=tiny_sim())
+    assert row["lanes"] == len(batch_sweep_keys()) == 16
+    assert row["ticks"] > 0
+    assert row["wall_s"] > 0 and row["seq_wall_s"] > 0
+    assert row["ticks_per_sec"] == pytest.approx(
+        row["ticks"] / row["wall_s"], rel=0.01)
+    assert row["speedup_vs_sequential"] == pytest.approx(
+        row["seq_wall_s"] / row["wall_s"], rel=0.01)
+
+
+def test_bench_batch_sweep_rejects_bad_repeats():
+    with pytest.raises(BenchError):
+        bench_batch_sweep("cutcp", repeats=0)
+
+
 def test_machine_fingerprint_is_stable_and_stringly():
     fp = machine_fingerprint()
     assert fp == machine_fingerprint()
@@ -101,6 +120,26 @@ def test_compare_fails_on_regression():
     lines, ok = compare(base, new, threshold=0.30)
     assert not ok
     assert any("REGRESSION" in line for line in lines)
+
+
+def test_compare_default_threshold_is_ten_percent():
+    """An 0.85x geomean passed the old 30% gate; the default floor is
+    now 10%."""
+    assert not compare(_doc({"a": 100.0}), _doc({"a": 85.0}))[1]
+    assert compare(_doc({"a": 100.0}), _doc({"a": 95.0}))[1]
+
+
+def test_compare_failure_lists_offending_rows():
+    base = _doc({"a": 100.0, "b": 100.0, "c": 100.0})
+    new = _doc({"a": 50.0, "b": 60.0, "c": 95.0})
+    lines, ok = compare(base, new, threshold=0.10)
+    assert not ok
+    text = "\n".join(lines)
+    assert "rows below" in text
+    listing = text.split("rows below", 1)[1]
+    assert "a: 0.50x" in listing
+    assert "b: 0.60x" in listing
+    assert "c:" not in listing  # within-floor rows are not blamed
 
 
 def test_compare_improvement_is_always_ok():

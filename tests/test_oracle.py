@@ -26,7 +26,7 @@ from repro.oracle import (REFERENCE_VARIANT, VARIANTS, OracleCase,
                           all_paths, case_seeds, check_pair,
                           discover_families, generate_case,
                           load_reproducer, run_oracle, split_path,
-                          write_reproducer)
+                          variants_for, write_reproducer)
 from repro.oracle.runner import Finding
 from repro.oracle.shrink import case_size, shrink_case
 from repro.sim import cycle_kernel
@@ -88,10 +88,17 @@ def test_every_run_loop_specialization_has_a_family():
     run_loops = {tag for tag, spec in cycle_kernel.SPECIALIZATIONS.items()
                  if spec["kind"] == "run-loop"}
     assert set(families.values()) == run_loops
-    assert len(all_paths()) == len(families) * len(VARIANTS)
+    assert len(all_paths()) == sum(
+        len(variants_for(family)) for family in families)
     for path in all_paths():
         family, variant = split_path(path)
-        assert variant in VARIANTS
+        assert variant in variants_for(family)
+    # The classic families keep the classic four-variant expansion.
+    assert variants_for("chip") == VARIANTS
+    assert variants_for("per-sm") == VARIANTS
+    # The batch family's reference is the fused chip loop, so all of
+    # its diffs are batched-vs-fused.
+    assert variants_for("batch") == ("fused", "solo", "multi")
 
 
 def test_unbound_run_loop_specialization_fails_discovery(monkeypatch):
