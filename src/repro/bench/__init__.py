@@ -29,7 +29,12 @@ contention.  A fourth scenario (rows keyed ``<kernel>@batch``) runs a
 16-key controller sweep through the batched backend
 (:mod:`repro.sim.batch`) and records its throughput next to the same
 sweep run as sequential in-process jobs
-(``speedup_vs_sequential``).
+(``speedup_vs_sequential``).  A fifth scenario (rows keyed
+``<kernel>@vector``) runs the chip-wide GPU through the vectorized
+busy-slot backend (:mod:`repro.sim.vector`), which opportunistically
+executes fill-free ALU span bursts through numpy; the plain ``chip``
+rows are pinned to the scalar loop so the pair measures exactly the
+backend swap.
 
 Results are written as JSON (``BENCH_sim.json`` by default) and two
 result files can be compared with a regression threshold; CI keeps a
@@ -85,6 +90,15 @@ BATCH_SUFFIX = "@batch"
 
 #: Kernels timed as a batched controller sweep.
 BATCH_KERNELS: Tuple[str, ...] = tuple(
+    k for _, k in REPRESENTATIVE_KERNELS)
+
+#: Row-key suffix of the vectorized busy-slot backend rows.
+VECTOR_SUFFIX = "@vector"
+
+#: Kernels timed on the vectorized backend (skipped without numpy:
+#: the fallback is bit-for-bit the chip loop, so the row would just
+#: duplicate the ``chip`` row).
+VECTOR_KERNELS: Tuple[str, ...] = tuple(
     k for _, k in REPRESENTATIVE_KERNELS)
 
 
@@ -152,21 +166,23 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
     """Time one kernel end to end; return its result row.
 
     ``variant`` selects the GPU under test: ``"chip"`` runs the
-    standard chip-wide-VRM GPU, ``"per-sm-vrm"`` the per-SM-VRM
-    variant with the per-SM Equalizer controller in performance mode,
-    and ``"multikernel"`` co-schedules the kernel with its bench
-    partner on disjoint SM partitions of the chip-wide GPU.  Each
+    standard chip-wide-VRM GPU pinned to the scalar loop,
+    ``"vector"`` the same GPU through the vectorized busy-slot
+    backend, ``"per-sm-vrm"`` the per-SM-VRM variant with the per-SM
+    Equalizer controller in performance mode, and ``"multikernel"``
+    co-schedules the kernel with its bench partner on disjoint SM
+    partitions of the chip-wide GPU.  Each
     repeat rebuilds the workload (programs are stateful iterators)
     and re-runs the full simulation; the reported wall time is the best
     of the repeats, which is the standard way to shave scheduler noise
     off a deterministic benchmark.
     """
-    from ..sim.gpu import run_kernel
+    from ..sim.gpu import GPU, run_kernel
     from ..workloads import build_workload, kernel_by_name
 
     if repeats < 1:
         raise BenchError("repeats must be >= 1")
-    if variant not in ("chip", "per-sm-vrm", "multikernel"):
+    if variant not in ("chip", "vector", "per-sm-vrm", "multikernel"):
         raise BenchError(f"unknown bench variant {variant!r}")
     if sim is None:
         from ..experiments.common import default_sim
@@ -179,15 +195,22 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
     for _ in range(repeats):
         if variant == "multikernel":
             from ..sim.multikernel import bench_coschedule
-            # bench_coschedule scales its specs itself.
+            # bench_coschedule scales its specs itself.  Pinned
+            # scalar like "chip": the row predates the vector
+            # backend and keeps measuring the scalar loop.
             workload = bench_coschedule(name, sim.gpu.sm_count,
                                         scale=scale, seed=sim.seed)
             start = time.perf_counter()
-            run = run_kernel(workload, sim)
+            run = run_kernel(workload, sim, gpu_class=GPU)
         elif variant == "chip":
             workload = build_workload(spec, seed=sim.seed)
             start = time.perf_counter()
-            run = run_kernel(workload, sim)
+            run = run_kernel(workload, sim, gpu_class=GPU)
+        elif variant == "vector":
+            from ..sim.vector import VectorGPU
+            workload = build_workload(spec, seed=sim.seed)
+            start = time.perf_counter()
+            run = run_kernel(workload, sim, gpu_class=VectorGPU)
         else:
             from ..sim.per_sm_vrm import (PerSMEqualizerController,
                                           run_kernel_per_sm_vrm)
@@ -298,6 +321,13 @@ def run_suite(kernels: Optional[List[str]] = None, scale: float = 1.0,
             row = bench_batch_sweep(name, scale=scale, repeats=repeats)
             row["role"] = "batch"
             rows[name + BATCH_SUFFIX] = row
+        from ..sim.vector import have_numpy
+        if have_numpy():
+            for name in VECTOR_KERNELS:
+                row = bench_kernel(name, scale=scale, repeats=repeats,
+                                   variant="vector")
+                row["role"] = "vector"
+                rows[name + VECTOR_SUFFIX] = row
     return {
         "format": BENCH_FORMAT,
         "mode": "quick" if quick else "full",

@@ -23,6 +23,9 @@ The batch family (the batched-sweep backend) has its own variants --
 ``fused`` (the plain chip fused loop, which batched lanes claim
 bit-identity with), ``solo`` (a one-lane batch), and ``multi`` (the
 case mid-batch between decoy lanes) -- see :data:`FAMILY_VARIANTS`.
+The vector family (the vectorized busy-slot backend) likewise diffs
+``VectorGPU`` against the plain fused chip loop, in three modes
+(bursts live, fast-forward off, debug counters on).
 
 All variants of a family must produce bit-identical
 :class:`~repro.sim.results.RunResult` payloads.  Families are *not*
@@ -60,6 +63,7 @@ LOOP_FAMILIES = {
     "chip-loop": "chip",
     "per-sm-loop": "per-sm",
     "batch-loop": "batch",
+    "vector-loop": "vector",
 }
 
 #: Per-family variants; "fused" is the reference each other variant is
@@ -74,10 +78,19 @@ REFERENCE_VARIANT = "fused"
 #: two decoy lanes (different seeds) to witness cross-lane isolation.
 #: So every batch pair the oracle checks is literally a
 #: batched-vs-fused leaf-exact diff.
+#: The vector family diffs the vectorized busy-slot backend against
+#: the fused chip loop it claims bit-identity with: "fused" is the
+#: plain chip fused path, "vector" the VectorGPU run loop with span
+#: bursts live, "vector-noff" the same with chip fast-forward disabled
+#: (so burst-parked SMs meet the catch-up path instead of the
+#: calendar), and "vector-debug" with ``debug_counters`` on every SM,
+#: which re-derives the incremental counters from a full scan at each
+#: sample *and* after every burst resync.
 FAMILY_VARIANTS = {
     "chip": VARIANTS,
     "per-sm": VARIANTS,
     "batch": ("fused", "solo", "multi"),
+    "vector": ("fused", "vector", "vector-noff", "vector-debug"),
 }
 
 
@@ -347,6 +360,31 @@ def _run_batch_variant(case: OracleCase, variant: str, sim: SimConfig,
     return run_batch([decoys[0], lane, decoys[1]])[1]
 
 
+def _run_vector_variant(case: OracleCase, variant: str, sim: SimConfig,
+                        workload, controller) -> RunResult:
+    """One vector-family path: fused reference or a VectorGPU mode.
+
+    ``fused`` runs the plain chip fused loop -- the exact path the
+    vectorized backend claims bit-identity with -- so the family's
+    within-family diffs are vector-vs-scalar by construction.  Without
+    numpy VectorGPU *is* the chip loop and every variant collapses to
+    the reference, which is precisely the fallback contract the
+    numpy-absent CI job pins.
+    """
+    from ..power.energy_model import compute_energy
+    from ..sim.vector import VectorGPU
+    if variant == "fused":
+        gpu = GPU(sim, controller=controller)
+    else:
+        gpu = VectorGPU(sim, controller=controller)
+        if variant == "vector-noff":
+            gpu.enable_fast_forward = False
+        elif variant == "vector-debug":
+            for sm in gpu.sms:
+                sm.debug_counters = True
+    return compute_energy(gpu.run(workload), sim.power, sim.gpu)
+
+
 def run_case_path(case: OracleCase, path_id: str,
                   sim: Optional[SimConfig] = None) -> RunResult:
     """Run one case through one path; return its full RunResult.
@@ -364,6 +402,9 @@ def run_case_path(case: OracleCase, path_id: str,
     if family == "batch":
         return _run_batch_variant(case, variant, sim, workload,
                                   controller)
+    if family == "vector":
+        return _run_vector_variant(case, variant, sim, workload,
+                                   controller)
     if family == "chip":
         cls = _CHIP_CLASSES.get(variant, GPU)
     else:

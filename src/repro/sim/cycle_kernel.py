@@ -67,20 +67,20 @@ if bucket is not None:
     needs_fetch = sm._needs_fetch
     woken = 0
     while True:
-        for warp in bucket:
-            if warp.paused:
-                warp.block.held.append(warp)
-            elif needs_fetch and warp in needs_fetch:
+        for w in bucket:
+            if w.paused:
+                w.block.held.append(w)
+            elif needs_fetch and w in needs_fetch:
                 # An L1-hit load completed: advance past it.
-                needs_fetch.discard(warp)
-                sm._fetch_and_dispatch(warp, 0)
+                needs_fetch.discard(w)
+                sm._fetch_and_dispatch(w, 0)
             else:
-                if warp.head_op == op_alu:
-                    warp.state = w_ready_alu
-                    ready_alu.append(warp)
+                if w.head_op == op_alu:
+                    w.state = w_ready_alu
+                    ready_alu.append(w)
                 else:
-                    warp.state = w_ready_mem
-                    ready_mem.append(warp)
+                    w.state = w_ready_mem
+                    ready_mem.append(w)
                 woken += 1
         # A zero-delay fetch above may have scheduled new work for
         # this same cycle; drain until the bucket stays empty.
@@ -423,10 +423,12 @@ if lag:
 sm.cycle = target
 """
 
-#: Memory clock-domain advance with the rate-1.0 cycle specialized in
-#: place (every constant already hoisted); other rates -- a DVFS'd
-#: memory domain mid-decision -- take the method, which is compiled
-#: from the same MEM_CYCLE_CORE.
+#: Memory clock-domain advance, rate-generic: the common rate-1.0 case
+#: keeps its branch-free single specialization, and a DVFS'd memory
+#: domain (zero or several memory cycles per tick) runs the *same*
+#: inlined body per owed cycle.  The constants are already hoisted by
+#: the prologue, so memory-DVFS sweeps never fall back to the
+#: ``memory.cycle()`` method call.
 MEM_ADVANCE = """\
 acc = mem_domain._acc + mem_domain.rate
 m = int(acc)
@@ -435,9 +437,10 @@ mem_domain.cycles += m
 if m == 1:
     memory.cycle_count = now = memory.cycle_count + 1
     ${mem_cycle_core}
-else:
+elif m:
     for _ in range(m):
-        memory.cycle()
+        memory.cycle_count = now = memory.cycle_count + 1
+        ${mem_cycle_core}
 """
 
 
@@ -476,6 +479,50 @@ lag = target - 1 - sm.cycle
 if lag:
     sm.skip_cycles(lag, interval)
 sm.cycle = target
+"""
+
+
+#: Vectorized busy-slot gate: the standard gate with an *ahead* guard
+#: in front and a burst hand-off behind.  A successful burst executes a
+#: whole run-ahead span of SM cycles at once (see
+#: :mod:`repro.sim.vector`) and leaves the SM's clock *ahead* of the
+#: domain, so the guard -- which must run before the bucket pop, or an
+#: ahead SM would double-execute its wakes -- skips the SM's slots
+#: until the domain catches up.  The burst precondition is the
+#: fill-free closure argument: with no MSHR entries, no texture
+#: requests, no LSU state and no deferred fetches, the SM can neither
+#: produce nor consume a memory event, so its future is a pure
+#: function of its sleep calendar and the planner may run it ahead of
+#: the chip clock.  Any divergence (controller hooks installed, memory
+#: state present, or the planner declining) falls through to the
+#: scalar cycle body with the gate's bindings intact.  Declines are
+#: memoized on the SM (``_vec_hold``) so dense decline regions do not
+#: pay the O(warps) planning scan on every busy slot.
+VECTOR_GATE = """\
+if sm.cycle >= target:
+    continue
+buckets = sm._sleep_buckets
+bucket = buckets.pop(target, None)
+ready_alu = sm.ready_alu
+ready_mem = sm.ready_mem
+lsu_queue = sm.lsu_queue
+lsu_busy = sm._lsu_busy
+if bucket is None and not (
+        ready_alu or ready_mem
+        or lsu_queue or lsu_busy):
+    continue
+lag = target - 1 - sm.cycle
+if lag:
+    sm.skip_cycles(lag, interval)
+sm.cycle = target
+if (not sm.mshr and target >= sm._vec_hold
+        and not ready_mem and not lsu_queue
+        and not lsu_busy and not sm.tex_pending
+        and not sm._needs_fetch and sm.hooks is None
+        and vtry(sm, target, bucket, interval,
+                 gpu._next_epoch_cycle)):
+    gpu._ff_blocked = False
+    continue
 """
 
 
@@ -534,6 +581,71 @@ def _cycle_loop(self, workload):
     for sm in sms:
         lag = c - sm.cycle
         if lag:
+            sm.skip_cycles(lag, interval)
+    ticks = self.tick - start_tick
+    self._invocation_ticks.append(ticks)
+    return ticks
+'''
+
+
+# ----------------------------------------------------------------------
+# The vectorized chip-wide run loop (VectorGPU._cycle_loop).
+# ----------------------------------------------------------------------
+VECTOR_LOOP = '''\
+def _cycle_loop(self, workload):
+    """Run the prepared invocation to completion; return its ticks.
+
+    Compiled from repro.sim.cycle_kernel (vectorized busy-slot
+    specialization): the chip-wide loop semantics -- one shared SM
+    clock domain, cycle-major iteration, epochs on the SM-cycle axis
+    -- with a span-burst executor gated in front of the scalar cycle
+    body.  An SM whose busy slot is in the fill-free pure-ALU regime
+    hands its whole run-ahead span to the numpy planner at once and
+    parks its clock ahead of the domain (see the vector gate); every
+    divergent slot executes the scalar body unchanged.  The catch-up
+    ``skip_cycles`` calls guard on ``lag > 0`` because a burst SM may
+    legitimately be ahead of the domain clock.
+    """
+    ${prologue}
+    sm_domain = self.sm_domain
+    vtry = self._vector_burst
+    orders = [[sms[i] for i in range(s, nsms)]
+              + [sms[i] for i in range(s)]
+              for s in range(nsms)]
+    while not gwde.drained or self.busy_sm_count:
+        if self.tick >= max_ticks:
+            raise SimulationError(
+                f"{workload.name}: exceeded max_ticks={max_ticks}")
+        ${ff_check}
+        tick = self.tick + 1
+        self.tick = tick
+        # sm_domain.advance() unrolled, exactly as in the chip loop.
+        acc = sm_domain._acc + sm_domain.rate
+        n = int(acc)
+        sm_domain._acc = acc - n
+        cbase = sm_domain.cycles
+        sm_domain.cycles = cbase + n
+        order = orders[tick % nsms]
+        for j in range(n):
+            target = cbase + j + 1
+            for sm in order:
+                ${vector_gate}
+                ${cycle_core}
+        ${mem_advance}
+        if sm_domain.cycles >= self._next_epoch_cycle:
+            c = sm_domain.cycles
+            for sm in sms:
+                lag = c - sm.cycle
+                if lag > 0:
+                    sm.skip_cycles(lag, interval)
+            while sm_domain.cycles >= self._next_epoch_cycle:
+                self._handle_epoch()
+                self._next_epoch_cycle += epoch_cycles
+            self._ff_blocked = False
+    c = sm_domain.cycles
+    for sm in sms:
+        lag = c - sm.cycle
+        if lag > 0:
             sm.skip_cycles(lag, interval)
     ticks = self.tick - start_tick
     self._invocation_ticks.append(ticks)
@@ -806,6 +918,7 @@ def _fragments() -> dict:
         "ff_check": FF_CHECK,
         "gate": CYCLE_GATE,
         "batch_gate": BATCH_GATE,
+        "vector_gate": VECTOR_GATE,
         "cycle_core": SM_CYCLE_CORE,
         "mem_advance": MEM_ADVANCE,
         "mem_cycle_core": MEM_CYCLE_CORE,
@@ -908,6 +1021,12 @@ SPECIALIZATIONS = {
         "kind": "run-loop",
         "installed_as": "repro.sim.batch.BatchLaneGPU._cycle_chunk",
     },
+    "vector-loop": {
+        "template": VECTOR_LOOP,
+        "entry": "_cycle_loop",
+        "kind": "run-loop",
+        "installed_as": "repro.sim.vector.VectorGPU._cycle_loop",
+    },
 }
 
 
@@ -946,3 +1065,8 @@ def build_per_sm_cycle_loop():
 def build_batch_cycle_chunk():
     """Compile ``BatchLaneGPU._cycle_chunk`` (batched-sweep stepper)."""
     return build("batch-loop")
+
+
+def build_vector_cycle_loop():
+    """Compile ``VectorGPU._cycle_loop`` (vectorized busy-slot loop)."""
+    return build("vector-loop")

@@ -252,9 +252,12 @@ class GPU:
         c = self.sm_domain.cycles
         for sm in self.sms:
             # Catch-up form: parked SMs lag the domain, so skip each SM
-            # to the domain clock rather than by a fixed amount.
+            # to the domain clock rather than by a fixed amount.  The
+            # vectorized loop can also leave an SM *ahead* of the
+            # domain (a burst executed its future cycles already), so
+            # a non-positive lag must not replay anything.
             lag = c - sm.cycle
-            if lag:
+            if lag > 0:
                 sm.skip_cycles(lag, interval)
         m = self.mem_domain.advance_many(ticks)
         self.memory.skip_cycles(m)
@@ -314,14 +317,24 @@ class _NullController:
         pass
 
 
-def run_kernel(workload, sim: SimConfig, controller=None) -> RunResult:
+def run_kernel(workload, sim: SimConfig, controller=None,
+               gpu_class=None) -> RunResult:
     """Simulate a workload and attach energy figures.
 
     This is the main entry point used by examples, tests, and the
-    experiment harnesses.
+    experiment harnesses.  By default it executes through the
+    vectorized busy-slot backend (:mod:`repro.sim.vector`) when numpy
+    is importable and through the scalar chip loop otherwise; the two
+    are bit-identical (the vector oracle family and the golden digests
+    pin this), so the choice is pure throughput.  Pass ``gpu_class``
+    to force a specific executor (the benchmarks do, so scalar-vs-
+    vector rows measure what they claim to).
     """
     from ..power.energy_model import compute_energy
-    gpu = GPU(sim, controller=controller)
+    if gpu_class is None:
+        from .vector import default_gpu_class
+        gpu_class = default_gpu_class()
+    gpu = gpu_class(sim, controller=controller)
     # The cycle loop allocates heavily (accesses, response buckets) but
     # its reference cycles (warp <-> block) live for the whole run, so
     # collector passes during the run only burn time.  Suspend the GC
