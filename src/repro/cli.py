@@ -20,7 +20,8 @@ import argparse
 import os
 import sys
 
-from .engine import DEFAULT_CACHE_DIR, Engine, collect_jobs, dump_json
+from .engine import (DEFAULT_CACHE_DIR, DEFAULT_MAX_ATTEMPTS,
+                     DEFAULT_TIMEOUT, Engine, collect_jobs, dump_json)
 from .errors import ReproError
 from .experiments import common
 from .experiments import (ablations, boost_comparison,
@@ -74,6 +75,16 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="max lanes per batch job with --batch "
                              "(default: 16)")
+    parser.add_argument("--timeout", type=float,
+                        default=DEFAULT_TIMEOUT, metavar="S",
+                        help="per-job wall-clock budget; hung "
+                             "workers are killed past it (default: "
+                             f"{DEFAULT_TIMEOUT:.0f}s)")
+    parser.add_argument("--max-attempts", type=int,
+                        default=DEFAULT_MAX_ATTEMPTS, metavar="N",
+                        help="attempt budget per job before it is "
+                             "reported failed (default: "
+                             f"{DEFAULT_MAX_ATTEMPTS})")
 
 
 def build_engine(args, sim=None) -> Engine:
@@ -81,7 +92,9 @@ def build_engine(args, sim=None) -> Engine:
     return Engine(sim=sim or common.default_sim(), scale=args.scale,
                   jobs=max(1, args.jobs), cache_dir=args.cache_dir,
                   use_cache=not args.no_cache,
-                  batch_size=args.batch_size if args.batch else None)
+                  batch_size=args.batch_size if args.batch else None,
+                  timeout=args.timeout,
+                  max_attempts=args.max_attempts)
 
 
 def main(argv=None) -> int:

@@ -19,18 +19,28 @@ built on top (see :mod:`repro.engine.check`).
 """
 
 from .cache import DEFAULT_CACHE_DIR, DiskCache
-from .executor import (Engine, ExecutionReport, JobOutcome,
-                       execute_batch_group, execute_job)
+from .executor import (DEFAULT_BACKOFF_BASE, DEFAULT_BACKOFF_CAP,
+                       DEFAULT_LEASE, DEFAULT_MAX_ATTEMPTS,
+                       DEFAULT_TIMEOUT, Engine, ExecutionReport,
+                       JobOutcome, execute_batch_group, execute_job)
 from .fingerprint import CACHE_FORMAT, code_salt, job_digest
 from .jobs import Job, as_jobs, collect_jobs, make_controller
 from .serialize import ReproJSONEncoder, dump_json, dumps_json
+from .store import JobRecord, JobStore
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_BACKOFF_CAP",
+    "DEFAULT_LEASE",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_TIMEOUT",
     "DiskCache",
     "Engine",
     "ExecutionReport",
     "JobOutcome",
+    "JobRecord",
+    "JobStore",
     "execute_batch_group",
     "execute_job",
     "CACHE_FORMAT",

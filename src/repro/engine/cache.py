@@ -10,7 +10,12 @@ the payload for human inspection only.
 Writes are atomic (temp file + :func:`os.replace`) so concurrent
 processes sharing a cache directory can only ever observe complete
 entries.  Corrupt or truncated entries are treated as misses and
-removed.
+removed, and *read* I/O errors (permissions, dying mounts) are misses
+too -- the cache accelerates runs, it must never abort one.  Write
+failures propagate as :class:`OSError` for the engine to handle (it
+degrades to cache-less operation rather than killing the run); the
+``cache_io`` class of :mod:`repro.faults` injects exactly that error
+here, at the top of :meth:`DiskCache.put`.
 """
 
 import json
@@ -18,6 +23,7 @@ import os
 import tempfile
 from typing import Dict, Optional
 
+from .. import faults
 from ..errors import SerializationError
 from ..sim.results import RunResult, encode_controller_key
 from .fingerprint import CACHE_FORMAT
@@ -55,10 +61,21 @@ class DiskCache:
             except OSError:
                 pass
             return None
+        except OSError:
+            # Unreadable entry (permissions, dying mount): a miss.
+            return None
 
     def put(self, digest: str, job: Job, scale: float,
             result: RunResult, seconds: float) -> None:
-        """Store one result atomically."""
+        """Store one result atomically.
+
+        Raises :class:`OSError` when the write fails (disk full,
+        read-only mount, or an injected ``cache_io`` fault); callers
+        own the degradation policy.
+        """
+        fault_plan = faults.active()
+        if fault_plan is not None:
+            fault_plan.check_cache_io(digest)
         path = self._path(digest)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = {

@@ -3,29 +3,67 @@
 :class:`Engine` owns one (SimConfig, scale) pair plus the two cache
 layers -- an in-process memory dict and the content-addressed
 :class:`~repro.engine.cache.DiskCache` -- and executes job plans over a
-``concurrent.futures.ProcessPoolExecutor``.  Per-job wall time and
-failures are captured in an :class:`ExecutionReport`; a job whose
-worker crashes (the process dies) or raises is retried exactly once on
-a fresh pool before being reported as failed.
+``concurrent.futures.ProcessPoolExecutor``.
 
-Simulations are deterministic, so parallel execution changes only who
-computes a result, never the result: a plan executed with ``workers=4``
-populates byte-identical caches to a serial pass.
+Pool execution is *supervised*: every job carries a wall-clock budget,
+and the watchdog loop never blocks indefinitely on a worker.  A hung
+worker is killed (the whole pool is torn down and rebuilt; innocent
+in-flight jobs are resubmitted without being charged an attempt), a
+failed attempt is retried after a deterministic exponential backoff up
+to a configurable attempt budget, and a job that exhausts its budget
+is retired with a quarantine record carrying the full traceback and an
+exact solo-repro command.  The same watchdog drives both the in-memory
+bookkeeping of :meth:`Engine.execute` and the persistent
+:class:`~repro.engine.store.JobStore` ledger of
+:meth:`Engine.execute_durable`, which survives driver death (``sweep
+--resume`` reaps the stranded claims and continues).
+
+Simulations are deterministic, so supervision changes only who runs a
+job and what happens when it dies, never what it computes: a plan
+executed with ``workers=4`` -- even under injected faults
+(:mod:`repro.faults`) -- populates byte-identical caches to a clean
+serial pass.
 """
 
+import json
+import sys
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                wait as futures_wait)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import faults
 from ..config import SimConfig
 from ..errors import EngineError
 from ..sim import RunResult, run_kernel
+from ..sim.results import encode_controller_key
 from ..workloads import build_workload, kernel_by_name
 from .cache import DEFAULT_CACHE_DIR, DiskCache
 from .fingerprint import job_digest
 from .jobs import ControllerKey, Job, make_controller
+
+#: Default per-job wall-clock budget (seconds).  Generous -- a healthy
+#: full-scale job finishes orders of magnitude sooner -- but finite, so
+#: a wedged worker can never hold a sweep hostage.
+DEFAULT_TIMEOUT = 3600.0
+
+#: Default attempt budget (matches the historical retry-once contract).
+DEFAULT_MAX_ATTEMPTS = 2
+
+#: Deterministic exponential backoff between attempts:
+#: ``min(cap, base * 2**(attempt-1))`` seconds.
+DEFAULT_BACKOFF_BASE = 0.5
+DEFAULT_BACKOFF_CAP = 30.0
+
+#: Default claim lease; running jobs re-lease via heartbeats well
+#: inside this window.
+DEFAULT_LEASE = 60.0
+
+#: Watchdog poll granularity (seconds).
+_POLL = 0.25
 
 
 def execute_job(kernel: str, key: ControllerKey, scale: float,
@@ -63,6 +101,100 @@ def execute_batch_group(kernel: str, keys: List[ControllerKey],
     wall = time.perf_counter() - start
     total_ticks = sum(r.result.ticks for r in results) or 1
     return [(r, wall * r.result.ticks / total_ticks) for r in results]
+
+
+def _run_supervised(worker, actions, kernel, key, scale, sim):
+    """Pool-worker wrapper: apply injected faults, then run the job.
+
+    ``actions`` is the (deterministic, driver-computed) fault action
+    list for this attempt -- empty or None outside chaos runs.  This
+    wrapper is the worker-entry-point injection site for the ``crash``
+    and ``hang`` fault classes.
+    """
+    if actions:
+        faults.apply_worker_actions(actions)
+    return worker(kernel, key, scale, sim)
+
+
+def _run_supervised_batch(worker, actions, kernel, keys, scale, sim):
+    """Batched twin of :func:`_run_supervised`."""
+    if actions:
+        faults.apply_worker_actions(actions)
+    return worker(kernel, keys, scale, sim)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's worker processes without waiting on them.
+
+    The only way to stop a hung worker is to terminate its process;
+    ``shutdown`` alone would block behind the hang forever.
+    """
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class _MemoryLedger:
+    """In-process stand-in for :class:`~repro.engine.store.JobStore`.
+
+    Gives :meth:`Engine.execute` the same supervised watchdog loop as
+    durable sweeps without touching disk; state dies with the engine.
+    """
+
+    def __init__(self) -> None:
+        self._state: Dict[str, str] = {}
+        self._attempts: Dict[str, int] = {}
+        self._not_before: Dict[str, float] = {}
+
+    def register(self, digest, kernel, key, scale) -> None:
+        self._state.setdefault(digest, "new")
+
+    def state(self, digest) -> str:
+        return self._state.get(digest, "new")
+
+    def attempts(self, digest) -> int:
+        return self._attempts.get(digest, 0)
+
+    def try_claim(self, digest, lease_s) -> bool:
+        if self._state.get(digest, "new") not in ("new", "errored"):
+            return False
+        if self._not_before.get(digest, 0.0) > time.monotonic():
+            return False
+        self._state[digest] = "claimed"
+        return True
+
+    def mark_running(self, digest) -> None:
+        self._state[digest] = "running"
+
+    def heartbeat_many(self, digests, lease_s) -> None:
+        pass
+
+    def mark_done(self, digest) -> None:
+        self._state[digest] = "done"
+
+    def mark_failed(self, digest, error, backoff_s) -> None:
+        self._attempts[digest] = self._attempts.get(digest, 0) + 1
+        self._not_before[digest] = time.monotonic() + backoff_s
+        self._state[digest] = "errored"
+
+    def quarantine(self, digest, error, record) -> None:
+        self._attempts[digest] = self._attempts.get(digest, 0) + 1
+        self._state[digest] = "quarantined"
+
+    def release(self, digest) -> None:
+        self._state[digest] = "new"
+
+    def requeue_lost(self, digest) -> None:
+        self._state[digest] = "new"
+
+    def get(self, digest):
+        return None
+
+    def reap(self) -> List[str]:
+        return []
 
 
 @dataclass
@@ -117,12 +249,14 @@ class ExecutionReport:
 
     def raise_on_failure(self) -> None:
         if self.failures:
-            detail = "; ".join(
-                f"{o.job.label()}: {o.error.strip().splitlines()[-1]}"
-                for o in self.failures)
+            parts = []
+            for o in self.failures:
+                lines = (o.error or "").strip().splitlines()
+                detail = lines[-1] if lines else "(no error detail)"
+                parts.append(f"{o.job.label()}: {detail}")
             raise EngineError(
                 f"{len(self.failures)} job(s) failed after retry: "
-                f"{detail}")
+                f"{'; '.join(parts)}")
 
 
 class Engine:
@@ -132,11 +266,21 @@ class Engine:
                  scale: float = 1.0, jobs: int = 1,
                  cache_dir: str = DEFAULT_CACHE_DIR,
                  use_cache: bool = True, worker=None,
-                 batch_size: Optional[int] = None) -> None:
+                 batch_size: Optional[int] = None,
+                 timeout: Optional[float] = DEFAULT_TIMEOUT,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 lease_s: float = DEFAULT_LEASE,
+                 batch_worker=None) -> None:
         if jobs < 1:
             raise EngineError("jobs must be >= 1")
         if batch_size is not None and batch_size < 1:
             raise EngineError("batch_size must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise EngineError("timeout must be positive (or None)")
+        if max_attempts < 1:
+            raise EngineError("max_attempts must be >= 1")
         self.sim = sim or SimConfig()
         self.scale = scale
         self.jobs = jobs
@@ -144,8 +288,18 @@ class Engine:
         #: the batched backend (repro.sim.batch), up to this many
         #: controller lanes per batch job.
         self.batch_size = batch_size
+        #: Per-job wall-clock budget; a batch group gets this times its
+        #: lane count.  None disables the watchdog deadline (the loop
+        #: still polls rather than blocking).
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.lease_s = lease_s
         self.disk = DiskCache(cache_dir) if use_cache else None
+        self._cache_degraded = False
         self._worker = worker or execute_job
+        self._batch_worker = batch_worker or execute_batch_group
         self._memory: Dict[Tuple[str, ControllerKey], RunResult] = {}
         self._controllers: Dict[Tuple[str, ControllerKey], object] = {}
         self._digests: Dict[Job, str] = {}
@@ -185,8 +339,24 @@ class Engine:
                seconds: float) -> None:
         self._memory[(job.kernel, job.key)] = result
         if self.disk is not None:
-            self.disk.put(self.digest(job), job, self.scale, result,
-                          seconds)
+            try:
+                self.disk.put(self.digest(job), job, self.scale,
+                              result, seconds)
+            except OSError as exc:
+                self._degrade_cache(exc)
+
+    def _degrade_cache(self, exc: BaseException) -> None:
+        """A cache write failed: warn once, go cache-less, keep going.
+
+        The result that triggered this is already in the memory layer;
+        losing a cache entry only costs a recomputation on some later
+        run, which determinism makes byte-identical.
+        """
+        if not self._cache_degraded:
+            self._cache_degraded = True
+            print("engine: disk cache write failed; continuing "
+                  f"without the disk cache ({exc})", file=sys.stderr)
+        self.disk = None
 
     # -- single-run façade path ----------------------------------------
 
@@ -235,10 +405,11 @@ class Engine:
         (or the engine's ``batch_size``) set, misses sharing a kernel
         are grouped into batch jobs of up to that many lanes, each
         batch occupying one worker slot; per-lane results land in the
-        cache exactly as individual runs would.  Every job is retried
-        once if its first attempt crashes the worker process or
-        raises (batched lanes retry solo); a second failure lands in
-        the report's failures.
+        cache exactly as individual runs would.  Failed attempts are
+        retried (with backoff) up to the engine's ``max_attempts``
+        budget -- two by default, the historical retry-once contract;
+        batched lanes retry solo.  A job that exhausts the budget
+        lands in the report's failures.
         """
         workers = workers or self.jobs
         batch_size = batch_size or self.batch_size
@@ -246,7 +417,7 @@ class Engine:
         by_job: Dict[Job, JobOutcome] = {}
         misses: List[Job] = []
         for job in plan:
-            if job in by_job:
+            if job in by_job or job in misses:
                 continue
             hit, source = self.lookup(job)
             if hit is not None:
@@ -258,7 +429,8 @@ class Engine:
                 self._execute_batched(misses, workers, by_job,
                                       batch_size)
             elif workers > 1:
-                self._execute_pool(misses, workers, by_job)
+                self._supervise(misses, workers, by_job,
+                                _MemoryLedger())
             else:
                 self._execute_serial(misses, by_job)
         report = ExecutionReport(
@@ -267,23 +439,258 @@ class Engine:
             workers=workers)
         return report
 
+    def execute_durable(self, plan: List[Job], store,
+                        workers: Optional[int] = None
+                        ) -> ExecutionReport:
+        """Resolve a plan through a persistent job ledger.
+
+        Every plan job is registered in the
+        :class:`~repro.engine.store.JobStore` (idempotently: ``done``
+        stays done), stranded claims from dead drivers are reaped, and
+        the supervised watchdog then claims and runs jobs until each
+        reaches a terminal state.  Always pool-backed -- even with one
+        worker -- so hung jobs can be killed.  A killed driver leaves
+        the ledger consistent; re-invoking with the same store resumes
+        exactly where it died.
+        """
+        workers = max(1, workers or self.jobs)
+        start = time.perf_counter()
+        by_job: Dict[Job, JobOutcome] = {}
+        todo: List[Job] = []
+        store.reap()
+        for job in dict.fromkeys(plan):
+            digest = self.digest(job)
+            store.register(digest, job.kernel, job.key, self.scale)
+            hit, source = self.lookup(job)
+            if hit is not None:
+                by_job[job] = JobOutcome(job=job, source=source)
+                store.mark_done(digest)
+                continue
+            if store.state(digest) == "done":
+                # Done in a previous run but the cache entry is gone
+                # (wiped, or writes were degraded): run it again.
+                store.requeue_lost(digest)
+            todo.append(job)
+        if todo:
+            self._supervise(todo, workers, by_job, store)
+        return ExecutionReport(
+            outcomes=[by_job[job] for job in dict.fromkeys(plan)],
+            wall_seconds=time.perf_counter() - start,
+            workers=workers)
+
+    # -- serial path ---------------------------------------------------
+
     def _execute_serial(self, jobs: List[Job],
                         by_job: Dict[Job, JobOutcome]) -> None:
         for job in jobs:
             outcome = JobOutcome(job=job, source="run")
-            for attempt in (1, 2):
+            for attempt in range(1, self.max_attempts + 1):
                 outcome.attempts = attempt
                 try:
                     result, seconds = self._worker(
                         job.kernel, job.key, self.scale, self.sim)
                 except Exception:
                     outcome.error = traceback.format_exc()
+                    if attempt < self.max_attempts:
+                        time.sleep(self._backoff(attempt))
                     continue
                 self._store(job, result, seconds)
                 outcome.seconds = seconds
                 outcome.error = None
                 break
             by_job[job] = outcome
+
+    # -- supervised pool path ------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        """Deterministic exponential backoff after a failed attempt."""
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** (attempt - 1)))
+
+    def _quarantine_record(self, job: Job, digest: str, attempt: int,
+                           error: str) -> Dict:
+        """Everything needed to reproduce a quarantined job solo."""
+        key_json = json.dumps(list(job.key))
+        repro = ("PYTHONPATH=src python -m repro.engine solo "
+                 f"--kernel {job.kernel} --key '{key_json}' "
+                 f"--scale {self.scale}")
+        return {"job": job.label(), "kernel": job.kernel,
+                "key": encode_controller_key(job.key),
+                "scale": self.scale, "digest": digest,
+                "attempts": attempt, "error": error, "repro": repro}
+
+    def _record_attempt_failure(self, job: Job, digest: str,
+                                attempt: int, error: str, ledger,
+                                by_job: Dict[Job, JobOutcome],
+                                waiting: List[Job]) -> None:
+        outcome = by_job.get(job) or JobOutcome(job=job, source="run")
+        outcome.attempts = attempt
+        outcome.error = error
+        by_job[job] = outcome
+        if attempt >= self.max_attempts:
+            ledger.quarantine(digest, error, self._quarantine_record(
+                job, digest, attempt, error))
+        else:
+            ledger.mark_failed(digest, error, self._backoff(attempt))
+            waiting.append(job)
+
+    def _supervise(self, jobs: List[Job], workers: int,
+                   by_job: Dict[Job, JobOutcome], ledger) -> None:
+        """Watchdog loop: claim, submit, wait with deadlines, recover.
+
+        Never blocks indefinitely on a worker: completions are
+        collected via timed waits, per-job deadlines kill hung workers
+        (pool teardown + rebuild; innocent in-flight jobs are released
+        and resubmitted uncharged), and failed attempts go back
+        through the ledger with backoff until the attempt budget runs
+        out and the job is quarantined.
+        """
+        fault_plan = faults.active()
+        digests = {job: self.digest(job) for job in jobs}
+        for job in jobs:
+            ledger.register(digests[job], job.kernel, job.key,
+                            self.scale)
+        waiting: List[Job] = list(jobs)
+        inflight: Dict = {}  # future -> (job, deadline, attempt)
+        pool: Optional[ProcessPoolExecutor] = None
+        last_beat = 0.0
+        try:
+            while waiting or inflight:
+                still: List[Job] = []
+                for job in waiting:
+                    digest = digests[job]
+                    state = ledger.state(digest)
+                    if state == "done":
+                        # Finished by another driver sharing the
+                        # ledger; materialise from the shared cache.
+                        hit, source = self.lookup(job)
+                        if hit is not None:
+                            by_job[job] = JobOutcome(
+                                job=job, source=source,
+                                attempts=ledger.attempts(digest))
+                            continue
+                        ledger.requeue_lost(digest)
+                        state = "new"
+                    if state == "quarantined":
+                        record = ledger.get(digest)
+                        error = getattr(record, "error", None) or \
+                            "quarantined in a previous run"
+                        by_job[job] = JobOutcome(
+                            job=job, source="run",
+                            attempts=ledger.attempts(digest),
+                            error=error)
+                        continue
+                    if (len(inflight) < workers
+                            and state in ("new", "errored")
+                            and ledger.try_claim(digest,
+                                                 self.lease_s)):
+                        attempt = ledger.attempts(digest) + 1
+                        actions = None
+                        if fault_plan is not None:
+                            actions = fault_plan.worker_actions(
+                                f"{digest}#a{attempt}")
+                        if pool is None:
+                            pool = ProcessPoolExecutor(
+                                max_workers=min(workers, len(jobs)))
+                        try:
+                            future = pool.submit(
+                                _run_supervised, self._worker,
+                                actions, job.kernel, job.key,
+                                self.scale, self.sim)
+                        except BrokenProcessPool:
+                            # The pool died under us between passes;
+                            # rebuild next pass, this job uncharged.
+                            ledger.release(digest)
+                            still.append(job)
+                            pool.shutdown(wait=False,
+                                          cancel_futures=True)
+                            pool = None
+                            continue
+                        ledger.mark_running(digest)
+                        deadline = (time.monotonic() + self.timeout
+                                    if self.timeout else None)
+                        inflight[future] = (job, deadline, attempt)
+                        continue
+                    still.append(job)
+                waiting = still
+
+                if not inflight:
+                    if not waiting:
+                        break
+                    # Everything left is gated by backoff or claimed
+                    # by another live driver: wait a beat, reap, retry.
+                    time.sleep(min(_POLL, self.backoff_base))
+                    ledger.reap()
+                    continue
+
+                now = time.monotonic()
+                if now - last_beat >= min(1.0, self.lease_s / 4.0):
+                    ledger.heartbeat_many(
+                        [digests[j] for j, _, _ in inflight.values()],
+                        self.lease_s)
+                    last_beat = now
+                poll = _POLL
+                deadlines = [d for _, d, _ in inflight.values()
+                             if d is not None]
+                if deadlines:
+                    poll = max(0.0, min(poll,
+                                        min(deadlines) - now))
+                done, _ = futures_wait(set(inflight), timeout=poll,
+                                       return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    job, _, attempt = inflight.pop(future)
+                    digest = digests[job]
+                    try:
+                        result, seconds = future.result(timeout=0)
+                    except Exception as exc:
+                        # Covers worker exceptions and pool breakage
+                        # (BrokenProcessPool) when a worker dies.
+                        if isinstance(exc, BrokenProcessPool):
+                            broken = True
+                        self._record_attempt_failure(
+                            job, digest, attempt,
+                            traceback.format_exc(), ledger, by_job,
+                            waiting)
+                    else:
+                        self._store(job, result, seconds)
+                        ledger.mark_done(digest)
+                        by_job[job] = JobOutcome(
+                            job=job, source="run", seconds=seconds,
+                            attempts=attempt)
+                now = time.monotonic()
+                hung = [future for future, (_, deadline, _)
+                        in inflight.items()
+                        if deadline is not None and now >= deadline]
+                if hung:
+                    for future in hung:
+                        job, _, attempt = inflight.pop(future)
+                        self._record_attempt_failure(
+                            job, digests[job], attempt,
+                            f"TimeoutError: job exceeded "
+                            f"{self.timeout:.0f}s wall-clock budget "
+                            f"(attempt {attempt}); worker killed",
+                            ledger, by_job, waiting)
+                    # Killing the hung worker means killing the pool;
+                    # release the innocent in-flight jobs uncharged.
+                    for future in list(inflight):
+                        job, _, _ = inflight.pop(future)
+                        ledger.release(digests[job])
+                        waiting.append(job)
+                    if pool is not None:
+                        _terminate_pool(pool)
+                        pool = None
+                elif broken and pool is not None:
+                    # A worker died; the remaining in-flight futures
+                    # surface BrokenProcessPool on the next pass, but
+                    # the pool itself is unusable for new submissions.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    # -- batched pool path ---------------------------------------------
 
     def _execute_batched(self, jobs: List[Job], workers: int,
                          by_job: Dict[Job, JobOutcome],
@@ -294,8 +701,10 @@ class Engine:
         controller key, so one batch shares a single workload build
         and steps all lanes through one worker.  Each group occupies
         one pool slot (or runs inline for workers=1).  A group that
-        raises is decomposed: every lane retries solo, so one bad lane
-        cannot sink its groupmates' second attempt.
+        raises, crashes, hangs past its deadline, or short-changes the
+        settle (fewer lane results than lanes) is decomposed: the
+        affected lanes retry solo, so one bad lane cannot sink its
+        groupmates' second attempt.
         """
         by_kernel: Dict[str, List[Job]] = {}
         for job in jobs:
@@ -307,39 +716,45 @@ class Engine:
 
         solo_retry: List[Job] = []
 
-        def _settle(group: List[Job], pairs) -> None:
-            for job, (result, seconds) in zip(group, pairs):
-                self._store(job, result, seconds)
-                by_job[job] = JobOutcome(job=job, source="batch",
-                                         seconds=seconds, attempts=1)
-
         def _fail(group: List[Job], error: str) -> None:
             for job in group:
                 by_job[job] = JobOutcome(job=job, source="batch",
                                          attempts=1, error=error)
                 solo_retry.append(job)
 
+        def _settle(group: List[Job], pairs) -> None:
+            pairs = list(pairs)
+            matched = min(len(group), len(pairs))
+            for job, (result, seconds) in zip(group[:matched],
+                                              pairs[:matched]):
+                self._store(job, result, seconds)
+                by_job[job] = JobOutcome(job=job, source="batch",
+                                         seconds=seconds, attempts=1)
+            if len(pairs) != len(group):
+                error = (f"EngineError: batch worker returned "
+                         f"{len(pairs)} lane result(s) for "
+                         f"{len(group)} lanes")
+                if len(pairs) > len(group):
+                    print(f"engine: {error}; extra results dropped",
+                          file=sys.stderr)
+                else:
+                    _fail(group[matched:], error)
+
+        fault_plan = faults.active()
+
+        def _group_actions(group: List[Job]):
+            if fault_plan is None:
+                return None
+            return fault_plan.worker_actions(
+                f"{self.digest(group[0])}#b1")
+
         if workers > 1 and len(groups) > 1:
-            pool = ProcessPoolExecutor(
-                max_workers=min(workers, len(groups)))
-            try:
-                futures = {pool.submit(
-                    execute_batch_group, group[0].kernel,
-                    [job.key for job in group], self.scale,
-                    self.sim): group for group in groups}
-                for future, group in futures.items():
-                    try:
-                        pairs = future.result()
-                    except Exception:
-                        _fail(group, traceback.format_exc())
-                    else:
-                        _settle(group, pairs)
-            finally:
-                pool.shutdown(wait=True)
+            self._supervise_groups(groups, workers, _settle, _fail,
+                                   _group_actions)
         else:
             for group in groups:
                 try:
-                    pairs = execute_batch_group(
+                    pairs = self._batch_worker(
                         group[0].kernel, [job.key for job in group],
                         self.scale, self.sim)
                 except Exception:
@@ -363,39 +778,78 @@ class Engine:
             outcome.seconds = seconds
             outcome.error = None
 
-    def _execute_pool(self, jobs: List[Job], workers: int,
-                      by_job: Dict[Job, JobOutcome]) -> None:
-        """Fan jobs out; rebuild the pool after a crash and retry."""
-        attempts = {job: 0 for job in jobs}
-        pending = list(jobs)
-        while pending:
-            retry: List[Job] = []
-            pool = ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)))
-            futures = {}
-            try:
-                for job in pending:
-                    attempts[job] += 1
-                    futures[pool.submit(
-                        self._worker, job.kernel, job.key, self.scale,
-                        self.sim)] = job
-                for future, job in futures.items():
-                    outcome = by_job.get(job) or JobOutcome(
-                        job=job, source="run")
-                    outcome.attempts = attempts[job]
+    def _supervise_groups(self, groups: List[List[Job]], workers: int,
+                          _settle, _fail, _group_actions) -> None:
+        """Watchdog fan-out of batch groups (one attempt per group).
+
+        A group's wall-clock budget is the per-job timeout times its
+        lane count.  Hung groups are failed to solo retry and the pool
+        is rebuilt; innocent in-flight groups are resubmitted.
+        """
+        pending: List[List[Job]] = list(groups)
+        inflight: Dict = {}  # future -> (group, deadline)
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while pending or inflight:
+                while pending and len(inflight) < workers:
+                    group = pending.pop(0)
+                    if pool is None:
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(workers, len(groups)))
                     try:
-                        result, seconds = future.result()
-                    except Exception:
-                        # Covers worker exceptions and pool breakage
-                        # (BrokenProcessPool) when a worker dies.
-                        outcome.error = traceback.format_exc()
-                        if attempts[job] < 2:
-                            retry.append(job)
+                        future = pool.submit(
+                            _run_supervised_batch, self._batch_worker,
+                            _group_actions(group), group[0].kernel,
+                            [job.key for job in group], self.scale,
+                            self.sim)
+                    except BrokenProcessPool:
+                        pending.append(group)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = None
+                        break
+                    deadline = None
+                    if self.timeout is not None:
+                        deadline = (time.monotonic()
+                                    + self.timeout * len(group))
+                    inflight[future] = (group, deadline)
+                now = time.monotonic()
+                poll = _POLL
+                deadlines = [d for _, d in inflight.values()
+                             if d is not None]
+                if deadlines:
+                    poll = max(0.0, min(poll, min(deadlines) - now))
+                done, _ = futures_wait(set(inflight), timeout=poll,
+                                       return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    group, _ = inflight.pop(future)
+                    try:
+                        pairs = future.result(timeout=0)
+                    except Exception as exc:
+                        if isinstance(exc, BrokenProcessPool):
+                            broken = True
+                        _fail(group, traceback.format_exc())
                     else:
-                        self._store(job, result, seconds)
-                        outcome.seconds = seconds
-                        outcome.error = None
-                    by_job[job] = outcome
-            finally:
+                        _settle(group, pairs)
+                now = time.monotonic()
+                hung = [future for future, (_, deadline)
+                        in inflight.items()
+                        if deadline is not None and now >= deadline]
+                if hung:
+                    for future in hung:
+                        group, _ = inflight.pop(future)
+                        _fail(group,
+                              "TimeoutError: batch group exceeded "
+                              "its wall-clock budget; worker killed")
+                    for future in list(inflight):
+                        group, _ = inflight.pop(future)
+                        pending.append(group)
+                    if pool is not None:
+                        _terminate_pool(pool)
+                        pool = None
+                elif broken and pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+        finally:
+            if pool is not None:
                 pool.shutdown(wait=True)
-            pending = retry

@@ -31,3 +31,7 @@ class EngineError(ReproError):
 
 class OracleError(ReproError):
     """Raised when the differential oracle is misconfigured."""
+
+
+class FaultError(ReproError):
+    """Raised when a REPRO_FAULTS fault-injection spec is malformed."""

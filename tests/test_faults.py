@@ -1,0 +1,130 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro import faults
+from repro.engine.cache import DiskCache
+from repro.engine.jobs import Job
+from repro.errors import FaultError
+from repro.sim.results import KernelResult, RunResult
+
+
+def make_result():
+    return RunResult(KernelResult(kernel="prtcl-2", ticks=10),
+                     seconds=1e-3, energy_j=0.5, energy_breakdown={})
+
+
+class TestParse:
+    def test_full_grammar(self):
+        plan = faults.FaultPlan.parse(
+            "crash@0.1,hang@0.05,cache_io@0.2:seed=7,hang_s=300")
+        assert plan.rates == {"crash": 0.1, "hang": 0.05,
+                              "cache_io": 0.2}
+        assert plan.seed == 7
+        assert plan.hang_s == 300.0
+
+    def test_defaults(self):
+        plan = faults.FaultPlan.parse("crash@1")
+        assert plan.seed == 0
+        assert plan.hang_s == 3600.0
+
+    @pytest.mark.parametrize("spec", [
+        "", "crash", "crash@", "crash@nope", "bogus@0.5",
+        "crash@1.5", "crash@-0.1", "crash@0.5:seed",
+        "crash@0.5:seed=x", "crash@0.5:color=red", ",,",
+    ])
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(FaultError):
+            faults.FaultPlan.parse(spec)
+
+
+class TestFires:
+    def test_deterministic_across_instances(self):
+        a = faults.FaultPlan.parse("crash@0.5:seed=7")
+        b = faults.FaultPlan.parse("crash@0.5:seed=7")
+        tokens = [f"job-{i}#a1" for i in range(200)]
+        assert ([a.fires("crash", t) for t in tokens]
+                == [b.fires("crash", t) for t in tokens])
+
+    def test_seed_changes_decisions(self):
+        a = faults.FaultPlan.parse("crash@0.5:seed=7")
+        b = faults.FaultPlan.parse("crash@0.5:seed=8")
+        tokens = [f"job-{i}#a1" for i in range(200)]
+        assert ([a.fires("crash", t) for t in tokens]
+                != [b.fires("crash", t) for t in tokens])
+
+    def test_rate_extremes(self):
+        plan = faults.FaultPlan({"crash": 0.0, "hang": 1.0})
+        for i in range(50):
+            assert not plan.fires("crash", f"t{i}")
+            assert plan.fires("hang", f"t{i}")
+            assert not plan.fires("cache_io", f"t{i}")  # unlisted
+
+    def test_empirical_rate_tracks_spec(self):
+        plan = faults.FaultPlan({"crash": 0.25}, seed=3)
+        hits = sum(plan.fires("crash", f"t{i}") for i in range(4000))
+        assert 0.20 < hits / 4000 < 0.30
+
+    def test_attempts_are_independent(self):
+        # The executor tokens are "<digest>#a<attempt>"; a crash on
+        # attempt 1 must not force a crash on attempt 2.
+        plan = faults.FaultPlan({"crash": 0.5}, seed=0)
+        decisions = {plan.fires("crash", f"deadbeef#a{n}")
+                     for n in range(1, 30)}
+        assert decisions == {True, False}
+
+
+class TestActions:
+    def test_crash_shadows_hang(self):
+        plan = faults.FaultPlan({"crash": 1.0, "hang": 1.0},
+                                hang_s=120)
+        assert plan.worker_actions("t") == [("crash",)]
+
+    def test_hang_carries_duration(self):
+        plan = faults.FaultPlan({"hang": 1.0}, hang_s=120)
+        assert plan.worker_actions("t") == [("hang", 120)]
+
+    def test_no_fault_is_empty(self):
+        plan = faults.FaultPlan({"crash": 0.0})
+        assert plan.worker_actions("t") == []
+
+    def test_check_cache_io_raises_oserror(self):
+        plan = faults.FaultPlan({"cache_io": 1.0})
+        with pytest.raises(OSError):
+            plan.check_cache_io("a" * 64)
+        # A plan without the cache_io site never raises there.
+        faults.FaultPlan({"crash": 1.0}).check_cache_io("a" * 64)
+
+
+class TestActiveMemoisation:
+    def test_follows_env_changes(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        assert faults.active() is None
+        monkeypatch.setenv(faults.ENV_VAR, "crash@0.5:seed=9")
+        plan = faults.active()
+        assert plan is not None and plan.seed == 9
+        assert faults.active() is plan  # memoised on the spec string
+        monkeypatch.setenv(faults.ENV_VAR, "hang@1.0")
+        assert faults.active().rates == {"hang": 1.0}
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.active() is None
+
+
+class TestDiskCacheInjection:
+    def test_put_raises_under_cache_io_fault(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "cache_io@1.0")
+        cache = DiskCache(str(tmp_path / "cache"))
+        job = Job(kernel="prtcl-2", key=("baseline",))
+        with pytest.raises(OSError):
+            cache.put("ab" * 32, job, 1.0, make_result(), 0.1)
+        # Nothing (entry or temp file) may be left behind.
+        assert cache.stats() == {"entries": 0, "bytes": 0}
+
+    def test_put_recovers_when_disarmed(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        cache = DiskCache(str(tmp_path / "cache"))
+        job = Job(kernel="prtcl-2", key=("baseline",))
+        cache.put("ab" * 32, job, 1.0, make_result(), 0.1)
+        got = cache.get("ab" * 32)
+        assert got is not None and got.ticks == 10

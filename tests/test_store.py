@@ -1,0 +1,183 @@
+"""Tests for the persistent job ledger (repro.engine.store)."""
+
+import os
+
+import pytest
+
+from repro.engine.store import (JobStore, default_owner,
+                                fingerprint_id)
+from repro.errors import EngineError
+
+DIG = "a" * 64
+DIG2 = "b" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(str(tmp_path / "ledger.sqlite"))
+    yield store
+    store.close()
+
+
+def register(store, digest=DIG):
+    store.register(digest, "prtcl-2", ("baseline",), 0.05)
+
+
+class TestLifecycle:
+    def test_register_starts_new(self, store):
+        register(store)
+        record = store.get(DIG)
+        assert record.state == "new"
+        assert record.attempts == 0
+        assert record.kernel == "prtcl-2"
+        assert record.key == ("baseline",)
+        assert record.label() == "prtcl-2/baseline"
+
+    def test_register_is_idempotent_and_done_stays_done(self, store):
+        register(store)
+        assert store.try_claim(DIG, lease_s=60)
+        store.mark_running(DIG)
+        store.mark_done(DIG)
+        register(store)  # re-planning the same sweep
+        assert store.state(DIG) == "done"
+
+    def test_happy_path_states(self, store):
+        register(store)
+        assert store.try_claim(DIG, lease_s=60)
+        assert store.state(DIG) == "claimed"
+        assert store.get(DIG).claimed_by == store.owner
+        store.mark_running(DIG)
+        assert store.state(DIG) == "running"
+        store.mark_done(DIG)
+        record = store.get(DIG)
+        assert record.state == "done"
+        assert record.claimed_by is None
+
+    def test_claim_is_exclusive(self, store, tmp_path):
+        register(store)
+        other = JobStore(str(tmp_path / "ledger.sqlite"),
+                         owner="feedface0000:1")
+        assert store.try_claim(DIG, lease_s=60)
+        assert not other.try_claim(DIG, lease_s=60)
+        other.close()
+
+    def test_claim_respects_backoff_gate(self, store):
+        register(store)
+        store.mark_failed(DIG, "boom", backoff_s=3600)
+        assert store.state(DIG) == "errored"
+        assert not store.try_claim(DIG, lease_s=60)
+
+    def test_errored_is_claimable_after_backoff(self, store):
+        register(store)
+        store.mark_failed(DIG, "boom", backoff_s=0.0)
+        assert store.try_claim(DIG, lease_s=60)
+        assert store.attempts(DIG) == 1
+
+    def test_unknown_digest_state_raises(self, store):
+        with pytest.raises(EngineError):
+            store.state(DIG)
+        assert store.get(DIG) is None
+
+    def test_counts(self, store):
+        register(store, DIG)
+        register(store, DIG2)
+        store.try_claim(DIG, lease_s=60)
+        counts = store.counts()
+        assert counts["new"] == 1 and counts["claimed"] == 1
+        assert sum(counts.values()) == 2
+
+
+class TestQuarantine:
+    def test_record_round_trips(self, store):
+        register(store)
+        record_in = {"repro": "python -m repro.engine solo ...",
+                     "error": "Traceback ...", "attempts": 3}
+        store.quarantine(DIG, "Traceback ...", record_in)
+        record = store.get(DIG)
+        assert record.state == "quarantined"
+        assert record.quarantine == record_in
+        assert record.attempts == 1
+
+    def test_requeue_resets_budget(self, store):
+        register(store)
+        store.quarantine(DIG, "boom", {"attempts": 3})
+        assert store.requeue() == 1
+        record = store.get(DIG)
+        assert record.state == "new"
+        assert record.attempts == 0
+        assert record.error is None and record.quarantine is None
+
+    def test_requeue_filters_by_state_and_digest(self, store):
+        register(store, DIG)
+        register(store, DIG2)
+        store.mark_failed(DIG, "boom", backoff_s=3600)
+        store.quarantine(DIG2, "boom", {})
+        assert store.requeue(states=("errored",)) == 1
+        assert store.state(DIG) == "new"
+        assert store.state(DIG2) == "quarantined"
+        assert store.requeue(states=("quarantined",),
+                             digest=DIG2) == 1
+        with pytest.raises(EngineError):
+            store.requeue(states=("bogus",))
+
+
+class TestReaper:
+    def test_expired_lease_is_reaped(self, store, tmp_path):
+        register(store)
+        foreign = JobStore(str(tmp_path / "ledger.sqlite"),
+                           owner="feedface0000:1")
+        assert foreign.try_claim(DIG, lease_s=0.0)  # instantly stale
+        foreign.close()
+        assert store.reap() == [DIG]
+        assert store.state(DIG) == "new"
+
+    def test_live_lease_is_not_reaped(self, store):
+        register(store)
+        assert store.try_claim(DIG, lease_s=3600)
+        assert store.reap() == []
+        assert store.state(DIG) == "claimed"
+
+    def test_dead_local_pid_reaped_before_lease_expiry(self, store,
+                                                      tmp_path):
+        # A claim from a SIGKILLed driver on this machine: its pid is
+        # gone, so the reaper need not wait out the (long) lease.
+        dead = JobStore(str(tmp_path / "ledger.sqlite"),
+                        owner=f"{fingerprint_id()}:999999999")
+        register(store)
+        assert dead.try_claim(DIG, lease_s=3600)
+        dead.close()
+        assert store.reap() == [DIG]
+        assert store.state(DIG) == "new"
+
+    def test_heartbeat_extends_lease(self, store):
+        register(store)
+        assert store.try_claim(DIG, lease_s=0.05)
+        store.mark_running(DIG)
+        store.heartbeat_many([DIG], lease_s=3600)
+        assert store.reap() == []
+        assert store.state(DIG) == "running"
+
+    def test_release_returns_claim_uncharged(self, store):
+        register(store)
+        assert store.try_claim(DIG, lease_s=60)
+        store.mark_running(DIG)
+        store.release(DIG)
+        record = store.get(DIG)
+        assert record.state == "new" and record.attempts == 0
+
+    def test_requeue_lost_only_touches_done(self, store):
+        register(store)
+        store.requeue_lost(DIG)
+        assert store.state(DIG) == "new"
+        store.try_claim(DIG, lease_s=60)
+        store.mark_done(DIG)
+        store.requeue_lost(DIG)
+        assert store.state(DIG) == "new"
+
+
+class TestOwnerIdentity:
+    def test_owner_carries_fingerprint_and_pid(self):
+        owner = default_owner()
+        fp, _, pid = owner.partition(":")
+        assert fp == fingerprint_id()
+        assert int(pid) == os.getpid()
