@@ -34,7 +34,12 @@ sweep run as sequential in-process jobs
 busy-slot backend (:mod:`repro.sim.vector`), which opportunistically
 executes fill-free ALU span bursts through numpy; the plain ``chip``
 rows are pinned to the scalar loop so the pair measures exactly the
-backend swap.
+backend swap.  Two controller scenarios (rows keyed ``<kernel>@ccws``
+and ``<kernel>@dyncta``) time the third-party baselines on the scalar
+chip GPU: CCWS installs ``sm.hooks`` and therefore runs the
+hook-bearing compiled loop variant, DynCTA churns occupancy through
+the inlined GWDE launch/retire fragments -- together they price the
+two specialization axes next to the hook-free ``chip`` rows.
 
 Results are written as JSON (``BENCH_sim.json`` by default) and two
 result files can be compared with a regression threshold; CI keeps a
@@ -90,6 +95,24 @@ BATCH_SUFFIX = "@batch"
 
 #: Kernels timed as a batched controller sweep.
 BATCH_KERNELS: Tuple[str, ...] = tuple(
+    k for _, k in REPRESENTATIVE_KERNELS)
+
+#: Row-key suffix of the CCWS (hook-bearing loop variant) rows.
+CCWS_SUFFIX = "@ccws"
+
+#: Kernels timed under the CCWS controller, whose attach installs
+#: ``sm.hooks`` on every SM and so selects the hook-bearing compiled
+#: loop variant.
+CCWS_KERNELS: Tuple[str, ...] = tuple(
+    k for _, k in REPRESENTATIVE_KERNELS)
+
+#: Row-key suffix of the DynCTA (GWDE-churning) rows.
+DYNCTA_SUFFIX = "@dyncta"
+
+#: Kernels timed under the DynCTA controller, which re-tunes
+#: ``target_blocks`` every epoch and so drives block launch/retire
+#: through the inlined GWDE fragments while staying hook-free.
+DYNCTA_KERNELS: Tuple[str, ...] = tuple(
     k for _, k in REPRESENTATIVE_KERNELS)
 
 #: Row-key suffix of the vectorized busy-slot backend rows.
@@ -169,9 +192,12 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
     standard chip-wide-VRM GPU pinned to the scalar loop,
     ``"vector"`` the same GPU through the vectorized busy-slot
     backend, ``"per-sm-vrm"`` the per-SM-VRM variant with the per-SM
-    Equalizer controller in performance mode, and ``"multikernel"``
+    Equalizer controller in performance mode, ``"multikernel"``
     co-schedules the kernel with its bench partner on disjoint SM
-    partitions of the chip-wide GPU.  Each
+    partitions of the chip-wide GPU, and ``"ccws"`` / ``"dyncta"``
+    run the scalar chip GPU under the matching third-party baseline
+    controller (hook-bearing loop variant and GWDE launch/retire
+    churn respectively).  Each
     repeat rebuilds the workload (programs are stateful iterators)
     and re-runs the full simulation; the reported wall time is the best
     of the repeats, which is the standard way to shave scheduler noise
@@ -182,7 +208,8 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
 
     if repeats < 1:
         raise BenchError("repeats must be >= 1")
-    if variant not in ("chip", "vector", "per-sm-vrm", "multikernel"):
+    if variant not in ("chip", "vector", "per-sm-vrm", "multikernel",
+                       "ccws", "dyncta"):
         raise BenchError(f"unknown bench variant {variant!r}")
     if sim is None:
         from ..experiments.common import default_sim
@@ -211,6 +238,21 @@ def bench_kernel(name: str, scale: float = 1.0, repeats: int = 1,
             workload = build_workload(spec, seed=sim.seed)
             start = time.perf_counter()
             run = run_kernel(workload, sim, gpu_class=VectorGPU)
+        elif variant in ("ccws", "dyncta"):
+            # A fresh controller per repeat (both accumulate per-run
+            # state at attach time), pinned to the scalar chip GPU so
+            # the row measures the compiled-loop variant the
+            # controller selects, not the vector backend.
+            if variant == "ccws":
+                from ..baselines.ccws import CCWSController
+                controller = CCWSController()
+            else:
+                from ..baselines.dyncta import DynCTAController
+                controller = DynCTAController()
+            workload = build_workload(spec, seed=sim.seed)
+            start = time.perf_counter()
+            run = run_kernel(workload, sim, controller=controller,
+                             gpu_class=GPU)
         else:
             from ..sim.per_sm_vrm import (PerSMEqualizerController,
                                           run_kernel_per_sm_vrm)
@@ -321,6 +363,16 @@ def run_suite(kernels: Optional[List[str]] = None, scale: float = 1.0,
             row = bench_batch_sweep(name, scale=scale, repeats=repeats)
             row["role"] = "batch"
             rows[name + BATCH_SUFFIX] = row
+        for name in CCWS_KERNELS:
+            row = bench_kernel(name, scale=scale, repeats=repeats,
+                               variant="ccws")
+            row["role"] = "ccws"
+            rows[name + CCWS_SUFFIX] = row
+        for name in DYNCTA_KERNELS:
+            row = bench_kernel(name, scale=scale, repeats=repeats,
+                               variant="dyncta")
+            row["role"] = "dyncta"
+            rows[name + DYNCTA_SUFFIX] = row
         from ..sim.vector import have_numpy
         if have_numpy():
             for name in VECTOR_KERNELS:

@@ -139,10 +139,18 @@ def _gen_kernel(rng: Random, idx: int) -> OracleKernel:
 
 def _gen_controller(rng: Random) -> List:
     roll = rng.random()
-    if roll < 0.30:
+    if roll < 0.25:
         return ["baseline"]
-    if roll < 0.55:
+    if roll < 0.45:
         return ["equalizer", rng.choice(("performance", "energy"))]
+    # CCWS installs sm.hooks, selecting the hook-bearing compiled
+    # variants; DynCTA drives occupancy through the GWDE launch/retire
+    # fragments without hooks.  Together they cover both arms of the
+    # hooks/GWDE specialization axes.
+    if roll < 0.55:
+        return ["ccws"]
+    if roll < 0.65:
+        return ["dyncta"]
     # Static operating points exercise non-nominal DVFS rates in both
     # clock domains -- including the memory-rate != 1.0 method fallback
     # inside the fused loops.

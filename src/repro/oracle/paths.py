@@ -27,6 +27,17 @@ The vector family (the vectorized busy-slot backend) likewise diffs
 ``VectorGPU`` against the plain fused chip loop, in three modes
 (bursts live, fast-forward off, debug counters on).
 
+The hooks family exercises the hooks and GWDE specialization axes on
+the chip skeleton: ``fused`` is the per-run dispatcher (hook-free
+variant unless the case's controller installs ``sm.hooks``),
+``hook-free`` forces the hook-free compiled variant whenever legal
+(collapsing to the dispatcher when the controller installs hooks --
+mirroring the vector family's numpy-absent collapse), ``hook-bearing``
+forces the guarded variant (always legal: the guard is a no-op without
+hooks), and ``method`` additionally drives block launch/retire through
+the GWDE ``request``/``notify_done`` reference API instead of the
+inlined launch/retire fragments.
+
 All variants of a family must produce bit-identical
 :class:`~repro.sim.results.RunResult` payloads.  Families are *not*
 compared to each other: the chip loop records epochs on the SM-cycle
@@ -52,6 +63,7 @@ from ..sim.multikernel import MultiKernelWorkload
 from ..sim.per_sm_vrm import (PerSMEqualizerController, PerSMVRMGPU,
                               compute_energy_per_sm)
 from ..sim.results import RunResult
+from ..sim.sm import SM
 from ..workloads.spec import KernelSpec, SyntheticWorkload
 from .generate import OracleCase
 
@@ -61,8 +73,11 @@ from .generate import OracleCase
 #: compiled paths must join the oracle matrix.
 LOOP_FAMILIES = {
     "chip-loop": "chip",
+    "chip-loop@hooks": "hooks",
     "per-sm-loop": "per-sm",
+    "per-sm-loop@hooks": "per-sm",
     "batch-loop": "batch",
+    "batch-loop@hooks": "batch",
     "vector-loop": "vector",
 }
 
@@ -86,11 +101,16 @@ REFERENCE_VARIANT = "fused"
 #: calendar), and "vector-debug" with ``debug_counters`` on every SM,
 #: which re-derives the incremental counters from a full scan at each
 #: sample *and* after every burst resync.
+#: The hooks family diffs the specialization-axis variants against the
+#: per-run dispatcher: "fused" lets the dispatcher pick, "hook-free"
+#: and "hook-bearing" pin one compiled variant each, and "method"
+#: swaps the inlined GWDE fragments for request/notify_done dispatch.
 FAMILY_VARIANTS = {
     "chip": VARIANTS,
     "per-sm": VARIANTS,
     "batch": ("fused", "solo", "multi"),
     "vector": ("fused", "vector", "vector-noff", "vector-debug"),
+    "hooks": ("fused", "hook-free", "hook-bearing", "method"),
 }
 
 
@@ -99,14 +119,15 @@ def variants_for(family: str):
     return FAMILY_VARIANTS.get(family, VARIANTS)
 
 
-def discover_families() -> Dict[str, str]:
-    """family -> run-loop tag, derived from the specialization registry.
+def discover_families() -> Dict[str, List[str]]:
+    """family -> run-loop tags, derived from the specialization registry.
 
-    Raises :class:`OracleError` if a registered run-loop specialization
-    has no family binding -- the guard that keeps the path matrix in
-    lock-step with the compiled paths.
+    A family may own several tags (the hooks axis gives most skeletons
+    a ``@hooks`` twin).  Raises :class:`OracleError` if a registered
+    run-loop specialization has no family binding -- the guard that
+    keeps the path matrix in lock-step with the compiled paths.
     """
-    families: Dict[str, str] = {}
+    families: Dict[str, List[str]] = {}
     for tag, spec in SPECIALIZATIONS.items():
         if spec["kind"] != "run-loop":
             continue
@@ -116,7 +137,7 @@ def discover_families() -> Dict[str, str]:
                 f"run-loop specialization {tag!r} has no oracle family "
                 f"binding; add it to repro.oracle.paths.LOOP_FAMILIES "
                 f"so the differential oracle covers it")
-        families[family] = tag
+        families.setdefault(family, []).append(tag)
     return families
 
 
@@ -229,12 +250,62 @@ def make_case_controller(case: OracleCase, family: str,
         _, sm_vf, mem_vf, blocks = key
         return StaticController(sm_vf=sm_vf, mem_vf=mem_vf,
                                 blocks=blocks)
+    if kind == "ccws":
+        # Installs sm.hooks at attach time, so the dispatcher selects
+        # the hook-bearing compiled variants.
+        from ..baselines.ccws import CCWSController
+        return CCWSController()
+    if kind == "dyncta":
+        # Drives occupancy (set_target_blocks) without hooks, so the
+        # hook-free variants stay selected while block launch/retire
+        # churn exercises the GWDE axis.
+        from ..baselines.dyncta import DynCTAController
+        return DynCTAController()
     raise OracleError(f"unknown oracle controller key {key!r}")
 
 
 # ----------------------------------------------------------------------
 # Method-path reference loops
 # ----------------------------------------------------------------------
+class _MethodDispatchSM(SM):
+    """An SM whose block launch/retire use the GWDE reference API.
+
+    The production :class:`~repro.sim.sm.SM` compiles both paths from
+    the GWDE-axis fragments of :mod:`repro.sim.cycle_kernel`; this
+    subclass rewrites them as plain ``request``/``notify_done`` method
+    dispatch, so every method path diffs the inlined fragments against
+    the reference API they claim identity with.
+    """
+
+    __slots__ = ()
+
+    def ensure_blocks(self):
+        while len(self.blocks) < self.target_blocks:
+            if self.paused_blocks:
+                self._unpause_one()
+                continue
+            factory = self.gpu.gwde.request(self.sm_id)
+            if factory is None:
+                break
+            self._launch_block(factory)
+
+    def _block_finished(self, block):
+        if block.paused:
+            self.paused_blocks.remove(block)
+        else:
+            blocks = self.blocks
+            idx = blocks.index(block)
+            last = blocks.pop()
+            if idx < len(blocks):
+                blocks[idx] = last
+        self.gpu.gwde.notify_done()
+        self.ensure_blocks()
+        if (self._counted_busy and not self.blocks
+                and not self.paused_blocks):
+            self._counted_busy = False
+            self.gpu.busy_sm_count -= 1
+
+
 class MethodPathGPU(GPU):
     """Chip-wide GPU stepping the compiled method entry points.
 
@@ -242,8 +313,12 @@ class MethodPathGPU(GPU):
     domain, cycle-major iteration, per-tick service-order rotation,
     epochs on the SM-cycle axis -- but executes every cycle through
     ``SM.cycle_once`` / ``MemorySubsystem.cycle`` with no fast-forward,
-    no idle parking, and no inline memory specialization.
+    no idle parking, and no inline memory specialization.  Its SMs
+    launch and retire blocks through the GWDE reference API rather
+    than the inlined fragments.
     """
+
+    sm_class = _MethodDispatchSM
 
     def _cycle_loop(self, workload):
         start_tick = self.tick
@@ -285,6 +360,8 @@ class MethodPathPerSMVRMGPU(PerSMVRMGPU):
     per SM, SM-major iteration, epochs on the tick axis -- with the
     same shortcuts removed as :class:`MethodPathGPU`.
     """
+
+    sm_class = _MethodDispatchSM
 
     def _cycle_loop(self, workload):
         start_tick = self.tick
@@ -385,6 +462,32 @@ def _run_vector_variant(case: OracleCase, variant: str, sim: SimConfig,
     return compute_energy(gpu.run(workload), sim.power, sim.gpu)
 
 
+def _run_hooks_variant(case: OracleCase, variant: str, sim: SimConfig,
+                       workload, controller) -> RunResult:
+    """One hooks-family path: dispatcher, pinned variant, or method.
+
+    ``fused`` is the per-run dispatcher exactly as production runs it.
+    ``hook-free`` pins the hook-free compiled loop, but only when the
+    controller installs no hooks -- with hooks installed the hook-free
+    variant is not a legal execution, so the path collapses to the
+    dispatcher (the vector family's numpy-absent collapse is the
+    precedent).  ``hook-bearing`` pins the guarded loop, legal
+    everywhere because the guard is a no-op without hooks.  ``method``
+    runs the hand-written reference loop with GWDE method dispatch.
+    """
+    from ..power.energy_model import compute_energy
+    if variant == "method":
+        gpu = MethodPathGPU(sim, controller=controller)
+    else:
+        gpu = GPU(sim, controller=controller)
+        if variant == "hook-free":
+            if not gpu._hooks_installed():
+                gpu._cycle_loop = GPU._loop_hook_free.__get__(gpu, GPU)
+        elif variant == "hook-bearing":
+            gpu._cycle_loop = GPU._loop_hook_bearing.__get__(gpu, GPU)
+    return compute_energy(gpu.run(workload), sim.power, sim.gpu)
+
+
 def run_case_path(case: OracleCase, path_id: str,
                   sim: Optional[SimConfig] = None) -> RunResult:
     """Run one case through one path; return its full RunResult.
@@ -405,6 +508,9 @@ def run_case_path(case: OracleCase, path_id: str,
     if family == "vector":
         return _run_vector_variant(case, variant, sim, workload,
                                    controller)
+    if family == "hooks":
+        return _run_hooks_variant(case, variant, sim, workload,
+                                  controller)
     if family == "chip":
         cls = _CHIP_CLASSES.get(variant, GPU)
     else:

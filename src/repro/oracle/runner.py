@@ -192,11 +192,32 @@ def check_pair(case: OracleCase, ref_path: str, path: str
 
 def applicable_paths(selected: Optional[List[str]] = None) -> List[str]:
     """The validated path ids a sweep runs (every family applies to
-    every case, so the matrix is global rather than per-case)."""
-    paths = selected if selected is not None else all_paths()
-    for p in paths:
-        split_path(p)
-    return list(paths)
+    every case, so the matrix is global rather than per-case).
+
+    Entries in ``selected`` may be shell-style patterns (``hooks:*``,
+    ``*:method``); each pattern expands against :func:`all_paths` and
+    must match at least one path.  Literal ids are validated as before.
+    """
+    if selected is None:
+        return list(all_paths())
+    import fnmatch
+    known = all_paths()
+    paths: List[str] = []
+    for entry in selected:
+        if any(ch in entry for ch in "*?["):
+            matches = [p for p in known if fnmatch.fnmatch(p, entry)]
+            if not matches:
+                raise OracleError(
+                    f"path pattern {entry!r} matches nothing; "
+                    f"known: {known}")
+            for p in matches:
+                if p not in paths:
+                    paths.append(p)
+            continue
+        split_path(entry)
+        if entry not in paths:
+            paths.append(entry)
+    return paths
 
 
 def _family_groups(paths: List[str]) -> Dict[str, List[str]]:

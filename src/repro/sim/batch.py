@@ -47,7 +47,8 @@ except ImportError:  # pragma: no cover - numpy is in requirements-ci
     _np = None
 
 from ..config import SimConfig
-from .cycle_kernel import build_batch_cycle_chunk
+from .cycle_kernel import (build_batch_cycle_chunk,
+                           build_batch_cycle_chunk_hooks)
 from .gpu import GPU
 from .results import RunResult
 
@@ -116,9 +117,17 @@ class BatchLaneGPU(GPU):
             self._batch_nrun += 1
         super()._deliver(sm_id, line, kind)
 
-    #: The resumable chunk stepper, compiled at import time from the
-    #: ``batch-loop`` specialization in :mod:`repro.sim.cycle_kernel`.
-    _cycle_chunk = build_batch_cycle_chunk()
+    #: The resumable chunk stepper's two compiled variants (hooks
+    #: axis), from the ``batch-loop`` specializations in
+    #: :mod:`repro.sim.cycle_kernel`.
+    _chunk_hook_free = build_batch_cycle_chunk()
+    _chunk_hook_bearing = build_batch_cycle_chunk_hooks()
+
+    def _cycle_chunk(self, workload, until_tick):
+        """Dispatch one chunk to the matching compiled variant."""
+        if self._hooks_installed():
+            return self._chunk_hook_bearing(workload, until_tick)
+        return self._chunk_hook_free(workload, until_tick)
 
     def _cycle_loop(self, workload):
         """Solo-run adapter: drive the chunk stepper to completion."""

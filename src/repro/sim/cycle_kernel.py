@@ -10,8 +10,15 @@ time:
 
 * ``SM.cycle_once``            -- the single-SM reference entry point;
 * ``MemorySubsystem.cycle``    -- the single memory-cycle entry point;
-* ``GPU._cycle_loop``          -- the fused chip-wide run loop;
-* ``PerSMVRMGPU._cycle_loop``  -- the fused per-SM-VRM run loop.
+* ``SM.ensure_blocks``         -- block launch, GWDE hand-off inlined;
+* ``SM._block_finished``       -- block retire, GWDE notify inlined;
+* ``GPU._loop_hook_free`` / ``_loop_hook_bearing``
+                               -- the fused chip-wide run loop;
+* ``PerSMVRMGPU._loop_hook_free`` / ``_loop_hook_bearing``
+                               -- the fused per-SM-VRM run loop;
+* ``BatchLaneGPU._chunk_hook_free`` / ``_chunk_hook_bearing``
+                               -- the resumable batched-sweep stepper;
+* ``VectorGPU._loop_hook_free``-- the vectorized busy-slot run loop.
 
 A *skeleton* template per loop supplies the specialization points the
 variants differ in -- clock-domain advance (one shared SM domain vs a
@@ -20,6 +27,22 @@ epoch boundaries (SM-cycle axis vs tick axis) -- while the cycle body
 (``SM_CYCLE_CORE``) and the memory cycle (``MEM_CYCLE_CORE``) are
 substituted verbatim into each.  Editing a core template therefore
 edits every path at once; there is nothing left to mirror by hand.
+
+Orthogonal to the skeletons, two *axes* select what the composed body
+contains:
+
+* the **hooks axis** -- the L1-miss instrumentation site
+  (``${hook_l1_miss}``) renders empty in the base run-loop tags and as
+  a guarded call in the ``@hooks`` tags, so an uninstrumented run
+  executes a body with no per-miss branch at all.  The GPU classes
+  hold both compiled variants and dispatch per invocation on whether
+  a controller installed instrumentation on any SM;
+* the **GWDE axis** -- the drain condition, block launch, and block
+  retire render as counter/deque fragments (``${gwde_while}``,
+  ``${gwde_launch}``, ``${gwde_retire}``) instead of
+  ``GWDE.request``/``notify_done`` method dispatch.  The methods stay
+  on the GWDE classes as the reference API; the oracle's
+  method-dispatch path still exercises them.
 
 Fragments communicate through a fixed local-variable contract
 (``sm``, ``gpu``, ``target``, ``interval``, ``buckets``, ``bucket``,
@@ -35,7 +58,9 @@ The module is part of the engine's code-salt digest (everything under
 exactly like editing the old hand-written loop did.
 """
 
+import builtins
 import linecache
+import symtable
 import textwrap
 
 from ..config import LINE_BYTES
@@ -194,8 +219,7 @@ elif lsu_queue:
         access.idx += 1
     else:
         l1.misses += 1
-        if sm.hooks is not None:
-            sm.hooks.on_l1_miss(sm, access.warp, line)
+        ${hook_l1_miss}
         mshr = sm.mshr
         waiters = mshr.get(line)
         if waiters is not None:
@@ -444,6 +468,67 @@ elif m:
 """
 
 
+# ----------------------------------------------------------------------
+# The hooks axis: the L1-miss instrumentation site.
+#
+# The cycle body marks the site with ``${hook_l1_miss}``.  The
+# hook-free run loops (the default for every uninstrumented
+# controller) substitute the empty fragment, so their compiled bodies
+# carry zero instrumentation branches; the ``@hooks`` variants and the
+# single-SM reference entry point substitute the guarded call below.
+# The guard binds the attribute once so the fragment stays a fixed
+# string the CI lint can reason about.
+# ----------------------------------------------------------------------
+
+#: Guarded per-miss instrumentation call (the hook-bearing variants).
+HOOK_L1_MISS_GUARDED = """\
+sm_hooks = sm.hooks
+if sm_hooks is not None:
+    sm_hooks.on_l1_miss(sm, access.warp, line)
+"""
+
+
+# ----------------------------------------------------------------------
+# The GWDE axis: block launch / retire inlined as fragments.
+#
+# The run loops' drain condition and the SM's launch/retire paths used
+# to go through ``GWDE.request`` / ``GWDE.notify_done`` method
+# dispatch.  The fragments below inline the same bookkeeping against
+# the GWDE's counters (``live`` = pending + outstanding, maintained as
+# an invariant by both :class:`repro.sim.gwde.GWDE` and
+# :class:`repro.sim.multikernel.PartitionedGWDE`); the methods remain
+# as the reference API for external callers and the oracle's
+# method-dispatch path.
+# ----------------------------------------------------------------------
+
+#: Invocation-drain condition: ``live`` counts blocks not yet retired
+#: (pending + outstanding), so ``live == 0`` is exactly ``drained``
+#: without the property call.
+GWDE_WHILE = """\
+while gwde.live or self.busy_sm_count:
+"""
+
+#: One block pulled from the SM's pool (``GWDE.request`` inlined).
+#: ``pool`` is the deque ``gwde.pool_for(sm.sm_id)`` returned -- None
+#: for an SM outside every partition, hence the falsy check.  A launch
+#: moves a block from pending to outstanding, so ``live`` is
+#: unchanged.
+GWDE_LAUNCH = """\
+if not pool:
+    break
+gwde.outstanding += 1
+gwde.dispatched += 1
+sm._launch_block(pool.popleft())
+"""
+
+#: One block retired (``GWDE.notify_done`` inlined).
+GWDE_RETIRE = """\
+gwde = sm.gpu.gwde
+gwde.outstanding -= 1
+gwde.live -= 1
+"""
+
+
 #: Batched-sweep service gate: the standard gate, with the idle
 #: ``continue`` branch replaced by *parking*.  A parked SM leaves the
 #: per-cycle service scan entirely (its ``runnable`` flag clears) and
@@ -493,11 +578,15 @@ sm.cycle = target
 #: requests, no LSU state and no deferred fetches, the SM can neither
 #: produce nor consume a memory event, so its future is a pure
 #: function of its sleep calendar and the planner may run it ahead of
-#: the chip clock.  Any divergence (controller hooks installed, memory
-#: state present, or the planner declining) falls through to the
-#: scalar cycle body with the gate's bindings intact.  Declines are
-#: memoized on the SM (``_vec_hold``) so dense decline regions do not
-#: pay the O(warps) planning scan on every busy slot.
+#: the chip clock.  Any divergence (memory state present or the
+#: planner declining) falls through to the scalar cycle body with the
+#: gate's bindings intact.  Miss instrumentation never reaches this
+#: gate at all: the fill-free guarantee is a compile-time property of
+#: the hook-free variant -- a controller that observes misses selects
+#: the hook-bearing chip loop instead (see the specialization
+#: registry), so the gate needs no per-slot check for it.  Declines
+#: are memoized on the SM (``_vec_hold``) so dense decline regions do
+#: not pay the O(warps) planning scan on every busy slot.
 VECTOR_GATE = """\
 if sm.cycle >= target:
     continue
@@ -518,7 +607,7 @@ sm.cycle = target
 if (not sm.mshr and target >= sm._vec_hold
         and not ready_mem and not lsu_queue
         and not lsu_busy and not sm.tex_pending
-        and not sm._needs_fetch and sm.hooks is None
+        and not sm._needs_fetch
         and vtry(sm, target, bucket, interval,
                  gpu._next_epoch_cycle)):
     gpu._ff_blocked = False
@@ -542,7 +631,7 @@ def _cycle_loop(self, workload):
     orders = [[sms[i] for i in range(s, nsms)]
               + [sms[i] for i in range(s)]
               for s in range(nsms)]
-    while not gwde.drained or self.busy_sm_count:
+    ${gwde_while}
         if self.tick >= max_ticks:
             raise SimulationError(
                 f"{workload.name}: exceeded max_ticks={max_ticks}")
@@ -612,7 +701,7 @@ def _cycle_loop(self, workload):
     orders = [[sms[i] for i in range(s, nsms)]
               + [sms[i] for i in range(s)]
               for s in range(nsms)]
-    while not gwde.drained or self.busy_sm_count:
+    ${gwde_while}
         if self.tick >= max_ticks:
             raise SimulationError(
                 f"{workload.name}: exceeded max_ticks={max_ticks}")
@@ -667,7 +756,7 @@ def _cycle_loop(self, workload):
     """
     ${prologue}
     domains = self.sm_domains
-    while not gwde.drained or self.busy_sm_count:
+    ${gwde_while}
         if self.tick >= max_ticks:
             raise SimulationError(
                 f"{workload.name}: exceeded max_ticks={max_ticks}")
@@ -748,7 +837,7 @@ def _cycle_chunk(self, workload, until_tick):
     orders = [[sms[i] for i in range(s, nsms)]
               + [sms[i] for i in range(s)]
               for s in range(nsms)]
-    while not gwde.drained or self.busy_sm_count:
+    ${gwde_while}
         if self.tick >= until_tick:
             return False
         if self.tick >= max_ticks:
@@ -847,6 +936,60 @@ def cycle_once(self, sample_interval):
 
 
 # ----------------------------------------------------------------------
+# The block-launch entry point (SM.ensure_blocks).
+# ----------------------------------------------------------------------
+ENSURE_BLOCKS = '''\
+def ensure_blocks(self):
+    """Fill up to the target: unpause first, then pull from the GWDE.
+
+    Compiled from repro.sim.cycle_kernel (block-launch
+    specialization): the work-distribution hand-off is inlined as the
+    launch fragment of the GWDE axis, so filling an SM costs deque
+    and counter operations only.
+    """
+    sm = self
+    gwde = sm.gpu.gwde
+    pool = gwde.pool_for(sm.sm_id)
+    while len(sm.blocks) < sm.target_blocks:
+        if sm.paused_blocks:
+            sm._unpause_one()
+            continue
+        ${gwde_launch}
+'''
+
+
+# ----------------------------------------------------------------------
+# The block-retire entry point (SM._block_finished).
+# ----------------------------------------------------------------------
+BLOCK_FINISHED = '''\
+def _block_finished(self, block):
+    """Retire one finished block and refill from the GWDE.
+
+    Compiled from repro.sim.cycle_kernel (block-retire
+    specialization): the retirement notification is inlined as the
+    retire fragment of the GWDE axis.  Retiring the last resident
+    block drops the SM out of ``busy_sm_count``, which together with
+    the inlined drain condition ends the run loop.
+    """
+    sm = self
+    if block.paused:
+        sm.paused_blocks.remove(block)
+    else:
+        blocks = sm.blocks
+        idx = blocks.index(block)
+        last = blocks.pop()
+        if idx < len(blocks):
+            blocks[idx] = last
+    ${gwde_retire}
+    sm.ensure_blocks()
+    if (sm._counted_busy and not sm.blocks
+            and not sm.paused_blocks):
+        sm._counted_busy = False
+        sm.gpu.busy_sm_count -= 1
+'''
+
+
+# ----------------------------------------------------------------------
 # The memory-cycle entry point (MemorySubsystem.cycle).
 # ----------------------------------------------------------------------
 MEMORY_CYCLE = '''\
@@ -922,6 +1065,15 @@ def _fragments() -> dict:
         "cycle_core": SM_CYCLE_CORE,
         "mem_advance": MEM_ADVANCE,
         "mem_cycle_core": MEM_CYCLE_CORE,
+        # The hooks axis defaults to the guarded instrumentation call
+        # (the single-SM reference entry point must honour installed
+        # instrumentation); the hook-free run-loop specializations
+        # override it with the empty fragment.
+        "hook_l1_miss": HOOK_L1_MISS_GUARDED,
+        # The GWDE axis: inlined drain condition, launch, and retire.
+        "gwde_while": GWDE_WHILE,
+        "gwde_launch": GWDE_LAUNCH,
+        "gwde_retire": GWDE_RETIRE,
     }
 
 
@@ -958,6 +1110,36 @@ def _exec_globals() -> dict:
     }
 
 
+def _unresolved_names(source: str, namespace: dict) -> set:
+    """Names ``source`` reads as globals that nothing will ever bind.
+
+    A fragment rendered into a skeleton that lacks its local contract
+    (the batch gate's ``runnable`` outside the batch loop, the vector
+    gate's ``vtry`` outside the vector loop) compiles fine and only
+    fails at run time with a ``NameError`` from the generated code.
+    :mod:`symtable` sees the mistake statically: a name a function
+    reads but never assigns is an implicit global, and a global that
+    is neither in the exec namespace nor a builtin cannot resolve.
+    """
+    try:
+        top = symtable.symtable(source, "<cycle-kernel>", "exec")
+    except SyntaxError:
+        return set()  # compile() below reports syntax errors better
+    unresolved = set()
+    stack = list(top.get_children())
+    while stack:
+        table = stack.pop()
+        stack.extend(table.get_children())
+        if table.get_type() != "function":
+            continue
+        for sym in table.get_symbols():
+            name = sym.get_name()
+            if (sym.is_global() and name not in namespace
+                    and not hasattr(builtins, name)):
+                unresolved.add(name)
+    return unresolved
+
+
 def compile_template(tag: str, template: str, entry: str, fragments=None):
     """Compile ``template`` and return its ``entry`` callable.
 
@@ -966,11 +1148,21 @@ def compile_template(tag: str, template: str, entry: str, fragments=None):
     ``inspect.getsource`` resolve line numbers into real text.
     ``fragments`` overrides stock fragments by name (see
     :func:`render_source`); the oracle's injected-bug tests compile a
-    mutated ``MEM_CYCLE_CORE`` this way.
+    mutated ``MEM_CYCLE_CORE`` this way.  A fragment/skeleton combo
+    that does not compose -- the rendered source reads names the
+    skeleton never binds -- is rejected here with the offending names,
+    instead of surfacing later as a ``NameError`` from generated code.
     """
     source = render_source(template, fragments)
     filename = f"{SOURCE_PREFIX}{tag}>"
     namespace = _exec_globals()
+    bad = _unresolved_names(source, namespace)
+    if bad:
+        raise SimulationError(
+            f"cycle-kernel specialization {tag!r} does not compose: "
+            f"the rendered source reads names no skeleton binding or "
+            f"exec global supplies: {sorted(bad)} (a fragment was "
+            f"rendered into a skeleton that lacks its local contract)")
     exec(compile(source, filename, "exec"), namespace)
     linecache.cache[filename] = (
         len(source), None, source.splitlines(True), filename)
@@ -990,6 +1182,17 @@ def compile_template(tag: str, template: str, entry: str, fragments=None):
 #: the paths, so a new specialization added here is automatically
 #: fuzzed (or rejected by the oracle's coverage test until a family
 #: binding exists for it).
+#:
+#: The run loops compose across the *hooks axis*: the base tags are
+#: the hook-free variants (empty ``hook_l1_miss`` fragment -- zero
+#: instrumentation branches in the compiled body), and the ``@hooks``
+#: tags substitute the guarded call for controllers that observe
+#: misses (CCWS).  ``GPU._cycle_loop`` is a plain dispatcher that
+#: picks the variant per invocation.  The vector loop has no
+#: ``@hooks`` variant by design: its burst regime exists only because
+#: no observer can see inside a span, so an instrumented run uses the
+#: inherited hook-bearing chip loop (bit-identical -- the old vector
+#: loop declined every burst as soon as hooks were installed).
 SPECIALIZATIONS = {
     "cycle-once": {
         "template": CYCLE_ONCE,
@@ -1003,29 +1206,66 @@ SPECIALIZATIONS = {
         "kind": "method",
         "installed_as": "repro.sim.memory.MemorySubsystem.cycle",
     },
+    "ensure-blocks": {
+        "template": ENSURE_BLOCKS,
+        "entry": "ensure_blocks",
+        "kind": "method",
+        "installed_as": "repro.sim.sm.SM.ensure_blocks",
+    },
+    "block-finished": {
+        "template": BLOCK_FINISHED,
+        "entry": "_block_finished",
+        "kind": "method",
+        "installed_as": "repro.sim.sm.SM._block_finished",
+    },
     "chip-loop": {
         "template": CHIP_LOOP,
         "entry": "_cycle_loop",
         "kind": "run-loop",
-        "installed_as": "repro.sim.gpu.GPU._cycle_loop",
+        "installed_as": "repro.sim.gpu.GPU._loop_hook_free",
+        "fragments": {"hook_l1_miss": ""},
+    },
+    "chip-loop@hooks": {
+        "template": CHIP_LOOP,
+        "entry": "_cycle_loop",
+        "kind": "run-loop",
+        "installed_as": "repro.sim.gpu.GPU._loop_hook_bearing",
+        "fragments": {"hook_l1_miss": HOOK_L1_MISS_GUARDED},
     },
     "per-sm-loop": {
         "template": PER_SM_LOOP,
         "entry": "_cycle_loop",
         "kind": "run-loop",
-        "installed_as": "repro.sim.per_sm_vrm.PerSMVRMGPU._cycle_loop",
+        "installed_as": "repro.sim.per_sm_vrm.PerSMVRMGPU._loop_hook_free",
+        "fragments": {"hook_l1_miss": ""},
+    },
+    "per-sm-loop@hooks": {
+        "template": PER_SM_LOOP,
+        "entry": "_cycle_loop",
+        "kind": "run-loop",
+        "installed_as": "repro.sim.per_sm_vrm.PerSMVRMGPU._loop_hook_bearing",
+        "fragments": {"hook_l1_miss": HOOK_L1_MISS_GUARDED},
     },
     "batch-loop": {
         "template": BATCH_LOOP,
         "entry": "_cycle_chunk",
         "kind": "run-loop",
-        "installed_as": "repro.sim.batch.BatchLaneGPU._cycle_chunk",
+        "installed_as": "repro.sim.batch.BatchLaneGPU._chunk_hook_free",
+        "fragments": {"hook_l1_miss": ""},
+    },
+    "batch-loop@hooks": {
+        "template": BATCH_LOOP,
+        "entry": "_cycle_chunk",
+        "kind": "run-loop",
+        "installed_as": "repro.sim.batch.BatchLaneGPU._chunk_hook_bearing",
+        "fragments": {"hook_l1_miss": HOOK_L1_MISS_GUARDED},
     },
     "vector-loop": {
         "template": VECTOR_LOOP,
         "entry": "_cycle_loop",
         "kind": "run-loop",
-        "installed_as": "repro.sim.vector.VectorGPU._cycle_loop",
+        "installed_as": "repro.sim.vector.VectorGPU._loop_hook_free",
+        "fragments": {"hook_l1_miss": ""},
     },
 }
 
@@ -1037,9 +1277,11 @@ def build(tag: str):
     except KeyError:
         raise SimulationError(
             f"unknown cycle-kernel specialization {tag!r}; "
-            f"known: {sorted(SPECIALIZATIONS)}"
+            f"known: {sorted(SPECIALIZATIONS)}; "
+            f"valid fragment-override keys: {sorted(_fragments())}"
         ) from None
-    return compile_template(tag, spec["template"], spec["entry"])
+    return compile_template(tag, spec["template"], spec["entry"],
+                            spec.get("fragments"))
 
 
 def build_cycle_once():
@@ -1052,21 +1294,46 @@ def build_memory_cycle():
     return build("memory-cycle")
 
 
+def build_ensure_blocks():
+    """Compile ``SM.ensure_blocks`` (inlined block launch)."""
+    return build("ensure-blocks")
+
+
+def build_block_finished():
+    """Compile ``SM._block_finished`` (inlined block retire)."""
+    return build("block-finished")
+
+
 def build_chip_cycle_loop():
-    """Compile ``GPU._cycle_loop`` (chip-wide fused loop)."""
+    """Compile the hook-free chip-wide fused loop."""
     return build("chip-loop")
 
 
+def build_chip_cycle_loop_hooks():
+    """Compile the hook-bearing chip-wide fused loop."""
+    return build("chip-loop@hooks")
+
+
 def build_per_sm_cycle_loop():
-    """Compile ``PerSMVRMGPU._cycle_loop`` (per-SM-VRM fused loop)."""
+    """Compile the hook-free per-SM-VRM fused loop."""
     return build("per-sm-loop")
 
 
+def build_per_sm_cycle_loop_hooks():
+    """Compile the hook-bearing per-SM-VRM fused loop."""
+    return build("per-sm-loop@hooks")
+
+
 def build_batch_cycle_chunk():
-    """Compile ``BatchLaneGPU._cycle_chunk`` (batched-sweep stepper)."""
+    """Compile the hook-free batched-sweep stepper."""
     return build("batch-loop")
 
 
+def build_batch_cycle_chunk_hooks():
+    """Compile the hook-bearing batched-sweep stepper."""
+    return build("batch-loop@hooks")
+
+
 def build_vector_cycle_loop():
-    """Compile ``VectorGPU._cycle_loop`` (vectorized busy-slot loop)."""
+    """Compile ``VectorGPU._loop_hook_free`` (vectorized busy slots)."""
     return build("vector-loop")

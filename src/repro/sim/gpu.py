@@ -5,8 +5,11 @@ clock).  The SM and memory clock domains execute a rate-scaled number
 of cycles per tick, so changing a domain's VF state speeds up or slows
 down exactly that domain, never wall-clock bookkeeping.
 
-The run loop itself (:meth:`GPU._cycle_loop`) is compiled at import
-time from the templates in :mod:`repro.sim.cycle_kernel`; the setup
+The run loop itself is compiled at import time from the templates in
+:mod:`repro.sim.cycle_kernel`, in two variants along the hooks axis
+(:attr:`GPU._loop_hook_free` / :attr:`GPU._loop_hook_bearing`);
+:meth:`GPU._cycle_loop` dispatches per invocation on whether the
+attached controller installed per-miss instrumentation.  The setup
 that precedes it (GWDE construction, kernel preparation, controller
 notification) lives in :meth:`GPU.run_invocation`.
 
@@ -39,7 +42,8 @@ import gc
 from ..config import SimConfig, VF_NORMAL, VF_STATES, vf_ratio
 from ..errors import SimulationError
 from .clock import ClockDomain
-from .cycle_kernel import build_chip_cycle_loop
+from .cycle_kernel import (build_chip_cycle_loop,
+                           build_chip_cycle_loop_hooks)
 from .gwde import GWDE
 from .memory import MemorySubsystem
 from .results import EpochRecord, KernelResult, RunResult, Segment
@@ -48,6 +52,12 @@ from .sm import SM
 
 class GPU:
     """The simulated GPU."""
+
+    #: The SM class instantiated by ``__init__``.  The differential
+    #: oracle's method-dispatch reference substitutes an SM subclass
+    #: whose block launch/retire go through the ``GWDE.request`` /
+    #: ``notify_done`` reference API instead of the inlined fragments.
+    sm_class = SM
 
     def __init__(self, sim: SimConfig, controller=None) -> None:
         self.sim = sim
@@ -70,7 +80,8 @@ class GPU:
         # The memory system is built before the SMs so each SM can bind
         # direct references to it (the LSU miss path is hot).
         self.memory = MemorySubsystem(self.cfg, self._deliver)
-        self.sms = [SM(i, self.cfg, self) for i in range(self.cfg.sm_count)]
+        self.sms = [self.sm_class(i, self.cfg, self)
+                    for i in range(self.cfg.sm_count)]
         self.gwde = GWDE([])
         self.tick = 0
         self.sm_vf = VF_NORMAL
@@ -211,12 +222,33 @@ class GPU:
         self.prepare_invocation(workload, invocation)
         return self._cycle_loop(workload)
 
-    #: The fused run loop, compiled at import time from the templates
-    #: in :mod:`repro.sim.cycle_kernel` -- the same cycle body that
-    #: compiles into ``SM.cycle_once``, specialized for the chip-wide
-    #: clock domain.  Subclasses with different clocking (per-SM VRMs)
-    #: install their own specialization of the same templates.
-    _cycle_loop = build_chip_cycle_loop()
+    #: The fused run loop's two compiled variants along the hooks axis
+    #: of :mod:`repro.sim.cycle_kernel`: the hook-free body carries no
+    #: per-miss instrumentation branch at all, the hook-bearing body
+    #: keeps the guarded call for controllers that observe misses
+    #: (CCWS).  Subclasses with different clocking (per-SM VRMs)
+    #: install their own specializations of the same templates.
+    _loop_hook_free = build_chip_cycle_loop()
+    _loop_hook_bearing = build_chip_cycle_loop_hooks()
+
+    def _hooks_installed(self) -> bool:
+        """True when any SM carries a controller instrumentation object."""
+        for sm in self.sms:
+            if sm.hooks is not None:
+                return True
+        return False
+
+    def _cycle_loop(self, workload):
+        """Dispatch one invocation to the matching compiled variant.
+
+        The check is per invocation, not per cycle: controllers
+        install instrumentation at attach time (before the first
+        invocation runs), so by the time this dispatcher runs the
+        choice is settled for the whole invocation.
+        """
+        if self._hooks_installed():
+            return self._loop_hook_bearing(workload)
+        return self._loop_hook_free(workload)
 
     def _fast_forward(self, interval: int) -> bool:
         """Jump toward the next event; True if any ticks were skipped."""

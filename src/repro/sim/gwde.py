@@ -11,9 +11,18 @@ from collections import deque
 
 
 class GWDE:
-    """Thread-block dispenser for one kernel invocation."""
+    """Thread-block dispenser for one kernel invocation.
 
-    __slots__ = ("pending", "outstanding", "dispatched")
+    The hot launch/retire paths are compiled fragments (the GWDE axis
+    of :mod:`repro.sim.cycle_kernel`) that operate directly on
+    :attr:`pending` (via :meth:`pool_for`) and the counters, so they
+    must preserve the ``live == len(pending) + outstanding`` invariant
+    the inlined drain condition relies on.  :meth:`request` and
+    :meth:`notify_done` remain the reference API for external callers
+    and the oracle's method-dispatch path.
+    """
+
+    __slots__ = ("pending", "outstanding", "dispatched", "live")
 
     def __init__(self, block_factories) -> None:
         #: Factories for blocks not yet assigned to any SM.
@@ -22,6 +31,14 @@ class GWDE:
         self.outstanding = 0
         #: Total blocks handed out.
         self.dispatched = 0
+        #: Blocks not yet retired (pending + outstanding); zero means
+        #: drained.  A launch moves a block between the two terms, so
+        #: only retirement decrements it.
+        self.live = len(self.pending)
+
+    def pool_for(self, sm_id: int):
+        """The pending pool this SM draws from (one shared pool)."""
+        return self.pending
 
     def request(self, sm_id: int):
         """Hand one block factory to the requesting SM, or None."""
@@ -34,6 +51,7 @@ class GWDE:
     def notify_done(self) -> None:
         """An SM retired one block."""
         self.outstanding -= 1
+        self.live -= 1
 
     @property
     def drained(self) -> bool:

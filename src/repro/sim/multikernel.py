@@ -24,15 +24,26 @@ from ..workloads.spec import KernelSpec, SyntheticWorkload
 
 
 class PartitionedGWDE:
-    """A work distribution engine with per-SM block pools."""
+    """A work distribution engine with per-SM block pools.
 
-    __slots__ = ("pools", "outstanding", "dispatched")
+    Maintains the same ``live == pending + outstanding`` invariant as
+    :class:`repro.sim.gwde.GWDE`: the compiled launch/retire fragments
+    (the GWDE axis of :mod:`repro.sim.cycle_kernel`) operate on
+    :meth:`pool_for` and the counters directly.
+    """
+
+    __slots__ = ("pools", "outstanding", "dispatched", "live")
 
     def __init__(self, pools: Dict[int, Sequence]) -> None:
         self.pools = {sm_id: deque(factories)
                       for sm_id, factories in pools.items()}
         self.outstanding = 0
         self.dispatched = 0
+        self.live = sum(len(pool) for pool in self.pools.values())
+
+    def pool_for(self, sm_id: int):
+        """This SM's pending pool, or None outside every partition."""
+        return self.pools.get(sm_id)
 
     def request(self, sm_id: int):
         pool = self.pools.get(sm_id)
@@ -44,6 +55,7 @@ class PartitionedGWDE:
 
     def notify_done(self) -> None:
         self.outstanding -= 1
+        self.live -= 1
 
     @property
     def drained(self) -> bool:

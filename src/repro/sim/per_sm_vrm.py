@@ -23,7 +23,8 @@ from ..config import (SimConfig, VF_HIGH, VF_LOW, VF_NORMAL, VF_STATES,
                       vf_ratio)
 from ..errors import SimulationError
 from .clock import ClockDomain
-from .cycle_kernel import build_per_sm_cycle_loop
+from .cycle_kernel import (build_per_sm_cycle_loop,
+                           build_per_sm_cycle_loop_hooks)
 from .gpu import GPU
 from .results import Segment
 
@@ -93,15 +94,32 @@ class PerSMVRMGPU(GPU):
             sm.skip_cycles(lag, self._sample_interval)
         sm.receive_fill(line, kind)
 
-    #: The fused run loop, compiled at import time from the same
-    #: cycle-kernel templates as ``GPU._cycle_loop`` but specialized
-    #: for this variant's clocking: a private domain per SM (SM-major
-    #: iteration, since per-SM cycle counts diverge) and epochs keyed
-    #: on the wall-clock tick axis.  ``GPU.run_invocation``'s setup is
-    #: inherited unchanged; only the loop differs.
-    _cycle_loop = build_per_sm_cycle_loop()
+    #: The fused run loop's two compiled variants (hooks axis), from
+    #: the same cycle-kernel templates as the base class's but
+    #: specialized for this variant's clocking: a private domain per
+    #: SM (SM-major iteration, since per-SM cycle counts diverge) and
+    #: epochs keyed on the wall-clock tick axis.  The inherited
+    #: ``_cycle_loop`` dispatcher and ``run_invocation`` setup apply
+    #: unchanged; only the loops differ.
+    _loop_hook_free = build_per_sm_cycle_loop()
+    _loop_hook_bearing = build_per_sm_cycle_loop_hooks()
 
     def _fast_forward(self, interval: int) -> bool:
+        """Jump toward the next event, with per-domain skip horizons.
+
+        The tick budget is still the minimum over the per-SM wake
+        horizons (wall clock is shared, so no domain may jump past its
+        own next event), but the *skips* are per-domain and lazy: each
+        private domain advances its full owed cycles and its SM stays
+        parked -- no eager per-jump replay.  The SM's own consumer
+        (the gate's lag catch-up, a fill delivery, the epoch boundary)
+        later replays the whole accumulated span in one
+        ``skip_cycles`` call, which ``skip_cycles`` additivity makes
+        bit-identical.  The practical difference is that one boosted
+        SM domain -- whose early wakes bound every jump -- no longer
+        chops the other domains' provably idle spans into per-jump
+        slivers.
+        """
         ticks = None
         target_tick = self._next_epoch_cycle
         if target_tick > self.tick:
@@ -126,11 +144,8 @@ class PerSMVRMGPU(GPU):
         if ticks < 2:
             return False
         self.tick += ticks
-        for sm, dom in zip(self.sms, self.sm_domains):
+        for dom in self.sm_domains:
             dom.advance_many(ticks)
-            lag = dom.cycles - sm.cycle
-            if lag:
-                sm.skip_cycles(lag, interval)
         self.memory.skip_cycles(self.mem_domain.advance_many(ticks))
         return True
 

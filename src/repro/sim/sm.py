@@ -33,7 +33,8 @@ from collections import deque
 
 from ..errors import SimulationError
 from .cache import SetAssocCache
-from .cycle_kernel import build_cycle_once
+from .cycle_kernel import (build_block_finished, build_cycle_once,
+                           build_ensure_blocks)
 from .instruction import (OP_ALU, OP_BARRIER, OP_DONE, OP_STORE,
                           OP_TEX_LOAD)
 from .memory import REQ_TEX
@@ -191,16 +192,11 @@ class SM:
             self._pause_one()
         self.ensure_blocks()
 
-    def ensure_blocks(self) -> None:
-        """Fill up to the target: unpause first, then ask the GWDE."""
-        while len(self.blocks) < self.target_blocks:
-            if self.paused_blocks:
-                self._unpause_one()
-                continue
-            factory = self.gpu.gwde.request(self.sm_id)
-            if factory is None:
-                break
-            self._launch_block(factory)
+    #: Block launch, compiled at import time from the canonical
+    #: template in :mod:`repro.sim.cycle_kernel`: the GWDE hand-off is
+    #: inlined (the GWDE axis), so filling an SM costs deque and
+    #: counter operations instead of work-distribution method calls.
+    ensure_blocks = build_ensure_blocks()
 
     def _launch_block(self, factory) -> None:
         block = ThreadBlock(self.gpu.next_block_id())
@@ -287,21 +283,9 @@ class SM:
             else:
                 self._enqueue_ready(w)
 
-    def _block_finished(self, block) -> None:
-        if block.paused:
-            self.paused_blocks.remove(block)
-        else:
-            blocks = self.blocks
-            idx = blocks.index(block)
-            last = blocks.pop()
-            if idx < len(blocks):
-                blocks[idx] = last
-        self.gpu.gwde.notify_done()
-        self.ensure_blocks()
-        if (self._counted_busy and not self.blocks
-                and not self.paused_blocks):
-            self._counted_busy = False
-            self.gpu.busy_sm_count -= 1
+    #: Block retire, compiled like :attr:`ensure_blocks`: the GWDE
+    #: retirement notification is inlined as the retire fragment.
+    _block_finished = build_block_finished()
 
     # ------------------------------------------------------------------
     # Warp dispatch machinery

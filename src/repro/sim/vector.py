@@ -404,11 +404,15 @@ class VectorGPU(GPU):
 
     Bit-identical to :class:`GPU` by construction (the vector oracle
     family and the golden digests pin it); without numpy it *is* the
-    scalar chip loop.
+    scalar chip loop.  Only the hook-free variant is vectorized: the
+    burst regime exists because nothing can observe inside a span, so
+    an instrumented run (CCWS) dispatches to the inherited
+    hook-bearing chip loop -- which is what the old per-slot gate
+    check degenerated to anyway (every burst declined).
     """
 
     if _np is not None:
-        _cycle_loop = build_vector_cycle_loop()
+        _loop_hook_free = build_vector_cycle_loop()
 
     def _vector_burst(self, sm, target, bucket, interval, epoch_bound):
         return _try_burst(sm, target, bucket, interval, epoch_bound)

@@ -74,6 +74,16 @@ def test_bench_batch_sweep_row_schema():
         row["seq_wall_s"] / row["wall_s"], rel=0.01)
 
 
+def test_bench_kernel_controller_variants():
+    """The @ccws/@dyncta rows run the third-party baselines on the
+    scalar chip GPU and stay deterministic."""
+    for variant in ("ccws", "dyncta"):
+        row = bench_kernel("cutcp", scale=0.05, repeats=2,
+                           sim=tiny_sim(), variant=variant)
+        assert row["ticks"] > 0
+        assert row["ticks_per_sec"] > 0
+
+
 def test_bench_batch_sweep_rejects_bad_repeats():
     with pytest.raises(BenchError):
         bench_batch_sweep("cutcp", repeats=0)

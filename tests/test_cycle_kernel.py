@@ -152,18 +152,75 @@ def test_per_sm_fast_forward_neutral_across_seeds(seed):
     assert with_ff.to_dict() == without.to_dict()
 
 
+def test_boosted_domain_no_longer_chops_other_skips(monkeypatch):
+    """Per-domain skip horizons: one boosted SM's early wakes bound the
+    tick budget of every fast-forward jump, but no longer force the
+    other SMs to replay their idle spans jump by jump.  A parked SM
+    accumulates lag across all jumps and replays the whole span in a
+    single bulk ``skip_cycles`` call when its own consumer needs it.
+    """
+    from repro.config import VF_HIGH
+    from repro.sim.sm import SM
+
+    sim = tiny_sim()
+    gpu = PerSMVRMGPU(sim)
+    interval = sim.equalizer.sample_interval
+    gpu._next_epoch_cycle = 10 ** 9   # remove the epoch bound
+    gpu.set_sm_vf(0, VF_HIGH)
+    sm0, sm1 = gpu.sms[0], gpu.sms[1]
+    dom0, dom1 = gpu.sm_domains[0], gpu.sm_domains[1]
+    # SM1 is parked on a far-future wake: it never bounds a jump.
+    sm1._sleep_buckets = {10 ** 8: []}
+
+    calls = []
+    real_skip = SM.skip_cycles
+
+    def recording_skip(self, n, si):
+        if self is sm1:
+            calls.append(n)
+        real_skip(self, n, si)
+
+    monkeypatch.setattr(SM, "skip_cycles", recording_skip)
+
+    jump_ticks = []
+    for _ in range(5):
+        # The boosted SM wakes every ~60 of its own (faster) cycles.
+        sm0._sleep_buckets = {dom0.cycles + 60: []}
+        before = gpu.tick
+        assert gpu._fast_forward(interval)
+        jump_ticks.append(gpu.tick - before)
+        # SM0's own consumer replays its span promptly (as the service
+        # gate's lag catch-up would); SM1 has no consumer yet.
+        lag0 = dom0.cycles - sm0.cycle
+        if lag0 > 0:
+            sm0.skip_cycles(lag0, interval)
+    # SM0's early wakes bounded every jump...
+    assert all(t < 60 for t in jump_ticks)
+    # ...yet SM1 was never touched: the jumps are lazy per-domain skips.
+    assert calls == []
+    lag1 = dom1.cycles - sm1.cycle
+    assert lag1 == sum(jump_ticks) > max(jump_ticks)
+    # The whole accumulated span replays in one bulk call, where the
+    # pre-refactor eager replay would have produced one sliver per jump.
+    sm1.skip_cycles(lag1, interval)
+    assert calls == [lag1]
+
+
 def test_loops_are_generated_from_the_cycle_kernel():
-    """All three specializations compile out of cycle_kernel templates."""
+    """Every installed variant compiles out of cycle_kernel templates."""
     from repro.sim import cycle_kernel
     from repro.sim.sm import SM
-    assert GPU._cycle_loop.__code__.co_filename.startswith(
-        cycle_kernel.SOURCE_PREFIX)
-    assert PerSMVRMGPU._cycle_loop.__code__.co_filename.startswith(
-        cycle_kernel.SOURCE_PREFIX)
-    assert SM.cycle_once.__code__.co_filename.startswith(
-        cycle_kernel.SOURCE_PREFIX)
-    # The per-SM loop is a real specialization, not an inherited copy.
-    assert PerSMVRMGPU._cycle_loop is not GPU._cycle_loop
+    for fn in (GPU._loop_hook_free, GPU._loop_hook_bearing,
+               PerSMVRMGPU._loop_hook_free,
+               PerSMVRMGPU._loop_hook_bearing,
+               SM.cycle_once, SM.ensure_blocks, SM._block_finished):
+        assert fn.__code__.co_filename.startswith(
+            cycle_kernel.SOURCE_PREFIX), fn
+    # The per-SM loops are real specializations, not inherited copies,
+    # and the two variants of each loop are distinct compilations.
+    assert PerSMVRMGPU._loop_hook_free is not GPU._loop_hook_free
+    assert PerSMVRMGPU._loop_hook_bearing is not GPU._loop_hook_bearing
+    assert GPU._loop_hook_free is not GPU._loop_hook_bearing
 
 
 def test_no_mirroring_warnings_remain_in_sim_sources():

@@ -87,7 +87,8 @@ def test_every_run_loop_specialization_has_a_family():
     families = discover_families()
     run_loops = {tag for tag, spec in cycle_kernel.SPECIALIZATIONS.items()
                  if spec["kind"] == "run-loop"}
-    assert set(families.values()) == run_loops
+    bound = {tag for tags in families.values() for tag in tags}
+    assert bound == run_loops
     assert len(all_paths()) == sum(
         len(variants_for(family)) for family in families)
     for path in all_paths():
@@ -99,6 +100,9 @@ def test_every_run_loop_specialization_has_a_family():
     # The batch family's reference is the fused chip loop, so all of
     # its diffs are batched-vs-fused.
     assert variants_for("batch") == ("fused", "solo", "multi")
+    # The hooks family covers the hooks/GWDE specialization axes.
+    assert variants_for("hooks") == ("fused", "hook-free",
+                                     "hook-bearing", "method")
 
 
 def test_unbound_run_loop_specialization_fails_discovery(monkeypatch):
@@ -118,6 +122,22 @@ def test_malformed_path_ids_are_rejected():
         split_path("chipfused")
     with pytest.raises(OracleError):
         split_path("chip:warp-drive")
+
+
+def test_path_patterns_expand_against_the_matrix():
+    """--paths accepts shell-style patterns like ``hooks:*``."""
+    from repro.oracle.runner import applicable_paths
+    expanded = applicable_paths(["hooks:*"])
+    assert expanded == [p for p in all_paths()
+                        if p.startswith("hooks:")]
+    assert len(expanded) == 4
+    with pytest.raises(OracleError):
+        applicable_paths(["warp:*"])
+    # Duplicates collapse; literal ids still validate.
+    mixed = applicable_paths(["chip:fused", "chip:*"])
+    assert mixed.count("chip:fused") == 1
+    with pytest.raises(OracleError):
+        applicable_paths(["chip:warp-drive"])
 
 
 # ----------------------------------------------------------------------

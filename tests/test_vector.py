@@ -233,10 +233,13 @@ def test_vector_without_numpy_is_the_chip_loop():
     """The fallback contract: no numpy, no separate code path.  The
     class body only installs the vector loop when numpy imports, so
     the fallback cannot drift from the scalar loop -- it *is* it."""
-    if "_cycle_loop" in VectorGPU.__dict__:
+    if "_loop_hook_free" in VectorGPU.__dict__:
         assert have_numpy()
     else:
         assert not have_numpy()
+    # The hook-bearing variant is always the inherited chip loop: a
+    # controller observing misses forfeits the burst regime entirely.
+    assert "_loop_hook_bearing" not in VectorGPU.__dict__
 
 
 # ----------------------------------------------------------------------
