@@ -72,11 +72,18 @@ def _ledger_path(args) -> str:
 
 
 def _open_ledger(args) -> JobStore:
+    """Open an existing ledger, loudly refusing anything that isn't one.
+
+    ``create=False`` makes a nonexistent path, a directory, an empty
+    file, or a non-ledger database an :class:`EngineError` (exit 2)
+    naming the path -- never a silently created empty ledger reporting
+    zero jobs.
+    """
     path = _ledger_path(args)
     if not os.path.exists(path):
         raise EngineError(f"no job ledger at {path} (run 'sweep' "
                           "first, or pass --ledger)")
-    return JobStore(path)
+    return JobStore(path, create=False)
 
 
 def run_sweep(args) -> int:

@@ -522,7 +522,8 @@ class Engine:
     def _record_attempt_failure(self, job: Job, digest: str,
                                 attempt: int, error: str, ledger,
                                 by_job: Dict[Job, JobOutcome],
-                                waiting: List[Job]) -> None:
+                                waiting: List[Job],
+                                on_outcome=None) -> None:
         outcome = by_job.get(job) or JobOutcome(job=job, source="run")
         outcome.attempts = attempt
         outcome.error = error
@@ -530,12 +531,44 @@ class Engine:
         if attempt >= self.max_attempts:
             ledger.quarantine(digest, error, self._quarantine_record(
                 job, digest, attempt, error))
+            if on_outcome is not None:
+                on_outcome(outcome)
         else:
             ledger.mark_failed(digest, error, self._backoff(attempt))
             waiting.append(job)
 
+    def serve_queue(self, store, feed, workers: Optional[int] = None,
+                    on_outcome=None, stop=None
+                    ) -> Dict[Job, JobOutcome]:
+        """Continuously claim and run jobs fed by a live queue.
+
+        Serving mode of the supervised watchdog: instead of a fixed
+        plan, ``feed(max_n, timeout)`` is polled every pass for up to
+        ``max_n`` newly admitted jobs (blocking up to ``timeout``
+        seconds when the loop is otherwise idle, so arrivals are
+        picked up promptly without spinning).  Each fed job is
+        registered in the persistent ``store``, executed under the
+        same deadlines/backoff/quarantine policy as
+        :meth:`execute_durable`, and reported through ``on_outcome``
+        (called once per job, from this thread, when the job reaches
+        a terminal state).  The loop runs until ``stop`` (a
+        :class:`threading.Event`) is set, then finishes what is in
+        flight and returns; jobs still waiting stay ``new`` in the
+        ledger, which is what lets a restarted server resume its
+        queue.
+        """
+        if stop is None:
+            raise EngineError("serve_queue requires a stop event")
+        workers = max(1, workers or self.jobs)
+        by_job: Dict[Job, JobOutcome] = {}
+        store.reap()
+        self._supervise([], workers, by_job, store, feed=feed,
+                        on_outcome=on_outcome, stop=stop)
+        return by_job
+
     def _supervise(self, jobs: List[Job], workers: int,
-                   by_job: Dict[Job, JobOutcome], ledger) -> None:
+                   by_job: Dict[Job, JobOutcome], ledger,
+                   feed=None, on_outcome=None, stop=None) -> None:
         """Watchdog loop: claim, submit, wait with deadlines, recover.
 
         Never blocks indefinitely on a worker: completions are
@@ -544,6 +577,12 @@ class Engine:
         and resubmitted uncharged), and failed attempts go back
         through the ledger with backoff until the attempt budget runs
         out and the job is quarantined.
+
+        With ``feed`` set (serving mode, :meth:`serve_queue`) the loop
+        additionally pulls newly admitted jobs each pass and keeps
+        running -- even with nothing waiting -- until ``stop`` fires.
+        ``on_outcome`` observes every *terminal* settle (done, failed
+        for good, quarantined), never retryable attempts.
         """
         fault_plan = faults.active()
         digests = {job: self.digest(job) for job in jobs}
@@ -554,8 +593,37 @@ class Engine:
         inflight: Dict = {}  # future -> (job, deadline, attempt)
         pool: Optional[ProcessPoolExecutor] = None
         last_beat = 0.0
+
+        def _settle(job: Job, outcome: JobOutcome) -> None:
+            by_job[job] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+
         try:
-            while waiting or inflight:
+            while True:
+                stopping = stop is not None and stop.is_set()
+                if feed is not None and not stopping:
+                    # Keep a small working set ahead of the pool so
+                    # the feed's priority order stays meaningful.
+                    budget = max(0, workers * 2 - len(waiting)
+                                 - len(inflight))
+                    timeout = (_POLL if not (waiting or inflight)
+                               else 0.0)
+                    for job in (feed(budget, timeout) if budget
+                                else ()):
+                        digest = self.digest(job)
+                        digests[job] = digest
+                        ledger.register(digest, job.kernel, job.key,
+                                        self.scale)
+                        waiting.append(job)
+                    stopping = stop is not None and stop.is_set()
+                if not (waiting or inflight):
+                    if feed is None or stopping:
+                        break
+                if stopping and not inflight and feed is not None:
+                    # Graceful stop: whatever is still waiting stays
+                    # registered (state ``new``) for the next driver.
+                    break
                 still: List[Job] = []
                 for job in waiting:
                     digest = digests[job]
@@ -565,9 +633,9 @@ class Engine:
                         # ledger; materialise from the shared cache.
                         hit, source = self.lookup(job)
                         if hit is not None:
-                            by_job[job] = JobOutcome(
+                            _settle(job, JobOutcome(
                                 job=job, source=source,
-                                attempts=ledger.attempts(digest))
+                                attempts=ledger.attempts(digest)))
                             continue
                         ledger.requeue_lost(digest)
                         state = "new"
@@ -575,12 +643,13 @@ class Engine:
                         record = ledger.get(digest)
                         error = getattr(record, "error", None) or \
                             "quarantined in a previous run"
-                        by_job[job] = JobOutcome(
+                        _settle(job, JobOutcome(
                             job=job, source="run",
                             attempts=ledger.attempts(digest),
-                            error=error)
+                            error=error))
                         continue
-                    if (len(inflight) < workers
+                    if (not stopping
+                            and len(inflight) < workers
                             and state in ("new", "errored")
                             and ledger.try_claim(digest,
                                                  self.lease_s)):
@@ -590,8 +659,12 @@ class Engine:
                             actions = fault_plan.worker_actions(
                                 f"{digest}#a{attempt}")
                         if pool is None:
+                            # Serving mode has no fixed plan to size
+                            # the pool by; use the full worker count.
+                            size = (workers if feed is not None
+                                    else min(workers, len(jobs)))
                             pool = ProcessPoolExecutor(
-                                max_workers=min(workers, len(jobs)))
+                                max_workers=size)
                         try:
                             future = pool.submit(
                                 _run_supervised, self._worker,
@@ -616,7 +689,13 @@ class Engine:
 
                 if not inflight:
                     if not waiting:
-                        break
+                        if feed is None:
+                            break
+                        # Serving mode, momentarily idle: the feed
+                        # call above already blocked for new work.
+                        continue
+                    if stopping:
+                        continue
                     # Everything left is gated by backoff or claimed
                     # by another live driver: wait a beat, reap, retry.
                     time.sleep(min(_POLL, self.backoff_base))
@@ -651,13 +730,13 @@ class Engine:
                         self._record_attempt_failure(
                             job, digest, attempt,
                             traceback.format_exc(), ledger, by_job,
-                            waiting)
+                            waiting, on_outcome)
                     else:
                         self._store(job, result, seconds)
                         ledger.mark_done(digest)
-                        by_job[job] = JobOutcome(
+                        _settle(job, JobOutcome(
                             job=job, source="run", seconds=seconds,
-                            attempts=attempt)
+                            attempts=attempt))
                 now = time.monotonic()
                 hung = [future for future, (_, deadline, _)
                         in inflight.items()
@@ -670,7 +749,7 @@ class Engine:
                             f"TimeoutError: job exceeded "
                             f"{self.timeout:.0f}s wall-clock budget "
                             f"(attempt {attempt}); worker killed",
-                            ledger, by_job, waiting)
+                            ledger, by_job, waiting, on_outcome)
                     # Killing the hung worker means killing the pool;
                     # release the innocent in-flight jobs uncharged.
                     for future in list(inflight):

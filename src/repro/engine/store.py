@@ -111,21 +111,44 @@ class JobRecord:
 class JobStore:
     """SQLite-backed job ledger shared by sweep drivers on one host."""
 
-    def __init__(self, path: str, owner: Optional[str] = None) -> None:
+    def __init__(self, path: str, owner: Optional[str] = None,
+                 create: bool = True) -> None:
         self.path = path
         self.owner = owner or default_owner()
-        parent = os.path.dirname(os.path.abspath(path))
-        os.makedirs(parent, exist_ok=True)
-        self._conn = sqlite3.connect(path, timeout=30.0)
-        self._conn.row_factory = sqlite3.Row
+        if create:
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        elif not os.path.isfile(path):
+            raise EngineError(f"no job ledger at {path}")
         try:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-        except sqlite3.OperationalError:  # pragma: no cover - odd FS
-            pass
-        self._conn.execute("PRAGMA busy_timeout=30000")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        with self._conn:
-            self._conn.executescript(_SCHEMA)
+            self._conn = sqlite3.connect(path, timeout=30.0)
+            self._conn.row_factory = sqlite3.Row
+            if not create and self._conn.execute(
+                    "SELECT 1 FROM sqlite_master WHERE type = 'table' "
+                    "AND name = 'jobs'").fetchone() is None:
+                # ``create=False`` means "open an existing ledger": a
+                # file without the jobs table (empty, or not ours)
+                # must error loudly, never read as an empty ledger.
+                # Validated before any pragma so the file is left
+                # byte-for-byte untouched.
+                self._conn.close()
+                raise EngineError(
+                    f"{path} is not a job ledger (no jobs table)")
+            try:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.OperationalError:  # pragma: no cover - odd FS
+                pass
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            if create:
+                with self._conn:
+                    self._conn.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            conn = getattr(self, "_conn", None)
+            if conn is not None:
+                conn.close()
+            raise EngineError(
+                f"cannot open job ledger {path}: {exc}") from exc
 
     def close(self) -> None:
         self._conn.close()
@@ -187,6 +210,16 @@ class JobStore:
                 f"SELECT * FROM jobs WHERE state IN ({marks}) "
                 "ORDER BY created_at", states).fetchall()
         return [self._decode(row) for row in rows]
+
+    def pending(self) -> List[JobRecord]:
+        """Non-terminal rows, oldest first.
+
+        The queue a restarted driver (the serving front end's boot
+        resume in particular) must pick back up: ``reap()`` first so
+        claims stranded by a dead process are already back to ``new``.
+        """
+        return self.records(states=("new", "claimed", "running",
+                                    "errored"))
 
     def counts(self) -> Dict[str, int]:
         counts = {state: 0 for state in STATES}

@@ -1,0 +1,82 @@
+"""Serving CLI.
+
+Usage::
+
+    python -m repro.serve --scale 0.25 --workers 2 --port 8641
+    python -m repro.serve --ledger .repro-cache/serve.sqlite
+
+Prints ``serving on http://HOST:PORT`` once the listener is up (the
+integration tests and the loadgen's subprocess mode parse that line),
+then serves until interrupted.  Restarting with the same ``--ledger``
+resumes any queued jobs.
+"""
+
+import argparse
+import asyncio
+import sys
+
+from ..engine.cache import DEFAULT_CACHE_DIR
+from ..engine.executor import DEFAULT_MAX_ATTEMPTS, DEFAULT_TIMEOUT
+from .server import SimServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Simulation-as-a-service HTTP front end.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8641,
+                        help="listen port; 0 picks an ephemeral one "
+                             "(default: 8641)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="pinned workload scale (default: 0.25)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="engine worker slots (default: 2)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="content-addressed run cache location")
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="durable job ledger (default: "
+                             "<cache-dir>/ledger.sqlite); reuse the "
+                             "same path to resume a queue")
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="per-client tokens/second (default: 20)")
+    parser.add_argument("--burst", type=float, default=40.0,
+                        help="per-client token bucket capacity "
+                             "(default: 40)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="admitted jobs allowed beyond the "
+                             "running set (default: 64)")
+    parser.add_argument("--budget", type=int, default=None,
+                        metavar="N",
+                        help="lifetime run budget per client "
+                             "(default: unlimited)")
+    parser.add_argument("--timeout", type=float,
+                        default=DEFAULT_TIMEOUT, metavar="S",
+                        help="per-job wall-clock budget")
+    parser.add_argument("--max-attempts", type=int,
+                        default=DEFAULT_MAX_ATTEMPTS, metavar="N",
+                        help="attempt budget before quarantine")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    server = SimServer(
+        scale=args.scale, workers=args.workers, host=args.host,
+        port=args.port, cache_dir=args.cache_dir, ledger=args.ledger,
+        rate=args.rate, burst=args.burst,
+        queue_limit=args.queue_limit, run_budget=args.budget,
+        timeout=args.timeout, max_attempts=args.max_attempts)
+    try:
+        asyncio.run(server.serve())
+    except KeyboardInterrupt:
+        # Queued jobs stay 'new' in the ledger; a restart with the
+        # same --ledger resumes them.
+        print("interrupted; queued jobs remain in "
+              f"{server.ledger_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

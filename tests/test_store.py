@@ -181,3 +181,77 @@ class TestOwnerIdentity:
         fp, _, pid = owner.partition(":")
         assert fp == fingerprint_id()
         assert int(pid) == os.getpid()
+
+
+class TestOpenExisting:
+    """``create=False`` (the CLI's read path) refuses non-ledgers."""
+
+    def test_missing_path_raises_naming_it(self, tmp_path):
+        path = str(tmp_path / "nope.sqlite")
+        with pytest.raises(EngineError, match="no job ledger at"):
+            JobStore(path, create=False)
+
+    def test_empty_file_raises_and_stays_untouched(self, tmp_path):
+        path = tmp_path / "empty.sqlite"
+        path.write_bytes(b"")
+        with pytest.raises(EngineError, match="not a job ledger"):
+            JobStore(str(path), create=False)
+        # Refusal must not write a schema into the probed file.
+        assert path.read_bytes() == b""
+
+    def test_non_ledger_database_raises(self, tmp_path):
+        import sqlite3
+        path = str(tmp_path / "other.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE other (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(EngineError, match="no jobs table"):
+            JobStore(path, create=False)
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"not a database at all" * 100)
+        with pytest.raises(EngineError,
+                           match="cannot open job ledger"):
+            JobStore(str(path), create=False)
+
+    def test_pending_lists_nonterminal_oldest_first(self, store):
+        register(store, DIG)
+        register(store, DIG2)
+        assert store.try_claim(DIG, lease_s=30.0)
+        store.mark_running(DIG)
+        store.mark_done(DIG)
+        assert [r.digest for r in store.pending()] == [DIG2]
+
+
+class TestJobsCliErrors:
+    """`python -m repro.engine jobs` must fail loudly on bad ledgers
+    (regression: it used to print an empty table and exit 0)."""
+
+    def _run(self, path, capsys):
+        from repro.engine.__main__ import main as engine_main
+        code = engine_main(["jobs", "--ledger", path])
+        return code, capsys.readouterr().err
+
+    def test_nonexistent_ledger_exits_nonzero(self, tmp_path,
+                                              capsys):
+        path = str(tmp_path / "missing.sqlite")
+        code, err = self._run(path, capsys)
+        assert code == 2
+        assert path in err
+
+    def test_empty_file_ledger_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "empty.sqlite"
+        path.write_bytes(b"")
+        code, err = self._run(str(path), capsys)
+        assert code == 2
+        assert "not a job ledger" in err
+        assert path.read_bytes() == b""
+
+    def test_directory_ledger_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "a-directory"
+        path.mkdir()
+        code, err = self._run(str(path), capsys)
+        assert code == 2
+        assert str(path) in err
